@@ -1,0 +1,46 @@
+//! AES-128 victim model: software reference cipher, a cycle-accurate
+//! 32-bit-datapath hardware model, and its power-leakage model.
+//!
+//! The paper's victim is an AES module "synthesized and running at
+//! 100 MHz \[with\] a 32-bit datapath so that four SBoxes are evaluated in
+//! parallel" (Section IV). This crate reproduces that victim:
+//!
+//! * [`soft`] — byte-exact AES-128 encryption/decryption and key
+//!   schedule, validated against FIPS-197 vectors. Also exports
+//!   [`soft::SBOX`]/[`soft::INV_SBOX`], which the CPA attack in
+//!   `slm-cpa` uses for its key hypotheses.
+//! * [`Aes32Rtl`] — the hardware model: one AddRoundKey load cycle, then
+//!   four cycles per round (one 32-bit column per cycle), 41 active
+//!   cycles per block at 100 MHz.
+//! * [`LeakageModel`] — per-cycle supply current: a Hamming-distance term
+//!   for the state-register update, a Hamming-weight term for the
+//!   combinational activity of the datapath operand, plus Gaussian
+//!   algorithmic noise. The weight term is what makes the paper's
+//!   "single bit before the final SBox" hypothesis correlate (see
+//!   DESIGN.md §5).
+//!
+//! # Example
+//!
+//! ```
+//! use slm_aes::{soft, Aes32Rtl, LeakageModel};
+//! use slm_pdn::noise::Rng64;
+//!
+//! let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+//! let rtl = Aes32Rtl::new(key);
+//! let mut rng = Rng64::new(1);
+//! let (ct, trace) = rtl.encrypt_with_power(
+//!     [0u8; 16], &LeakageModel::default(), &mut rng);
+//! assert_eq!(ct, soft::encrypt(&key, &[0u8; 16]));
+//! assert_eq!(trace.len(), Aes32Rtl::CYCLES_PER_BLOCK);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod leakage;
+mod rtl;
+pub mod soft;
+
+pub use leakage::LeakageModel;
+pub use rtl::Aes32Rtl;

@@ -1,0 +1,51 @@
+//! Property-based tests for the AES victim model.
+
+use proptest::prelude::*;
+use slm_aes::{soft, Aes32Rtl, LeakageModel};
+use slm_pdn::noise::Rng64;
+
+proptest! {
+    #[test]
+    fn encrypt_decrypt_roundtrip(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+        let ct = soft::encrypt(&key, &pt);
+        prop_assert_eq!(soft::decrypt(&key, &ct), pt);
+    }
+
+    #[test]
+    fn round_states_end_in_ciphertext(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+        let states = soft::encrypt_round_states(&key, &pt);
+        prop_assert_eq!(states[soft::ROUNDS], soft::encrypt(&key, &pt));
+    }
+
+    /// The relation the last-round CPA hypothesis inverts:
+    /// `state9[j] = INV_SBOX[ct[dest(j)] ^ k10[dest(j)]]`.
+    #[test]
+    fn last_round_hypothesis_relation(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+        let states = soft::encrypt_round_states(&key, &pt);
+        let k10 = soft::key_expansion(&key)[10];
+        let ct = states[10];
+        for (j, &pre) in states[9].iter().enumerate() {
+            let jd = soft::shift_rows_dest(j);
+            prop_assert_eq!(pre, soft::INV_SBOX[(ct[jd] ^ k10[jd]) as usize]);
+        }
+    }
+
+    #[test]
+    fn rtl_matches_soft(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>(), seed in any::<u64>()) {
+        let rtl = Aes32Rtl::new(key);
+        let mut rng = Rng64::new(seed);
+        let (ct, trace) = rtl.encrypt_with_power(pt, &LeakageModel::default(), &mut rng);
+        prop_assert_eq!(ct, soft::encrypt(&key, &pt));
+        prop_assert_eq!(trace.len(), Aes32Rtl::CYCLES_PER_BLOCK);
+    }
+
+    #[test]
+    fn shift_rows_dest_is_permutation(_x in 0u8..1) {
+        let mut seen = [false; 16];
+        for j in 0..16 {
+            let d = soft::shift_rows_dest(j);
+            prop_assert!(!seen[d]);
+            seen[d] = true;
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Stimulus finder: searches reset/measure vector pairs that sensitize a
+//! circuit's endpoints near a target capture window — the tool that
+//! produced the C6288 stimulus shipped in `slm-fabric`.
+//!
+//! ```sh
+//! cargo run --release -p slm-atpg --example find_stimulus
+//! ```
+
+use slm_atpg::{Objective, StimulusSearch};
+use slm_netlist::generators::c6288;
+use slm_netlist::words;
+use slm_timing::DelayModel;
+
+fn main() {
+    let nl = c6288().unwrap();
+    // calibrate like the fabric does: achieved critical path ≈ 5.2 ns
+    let ann = DelayModel::default()
+        .annotate_for_period(&nl, 5.2, 1.0)
+        .unwrap();
+    // target: endpoints transitioning near the 300 MHz capture edge
+    let search = StimulusSearch::new(
+        &ann,
+        Objective::MaxActiveEndpoints {
+            window_lo_ps: 2700.0,
+            window_hi_ps: 4100.0,
+        },
+    );
+    let found = search.run(12, 0xc6288);
+    let a = words::from_bits(&found.measure[..16]);
+    let b = words::from_bits(&found.measure[16..]);
+    let ra = words::from_bits(&found.reset[..16]);
+    let rb = words::from_bits(&found.reset[16..]);
+    println!(
+        "found stimulus with {} of {} endpoints near-critical ({} evaluations)",
+        found.score,
+        nl.outputs().len(),
+        found.evaluations
+    );
+    println!("reset:   a = {ra:#06x}, b = {rb:#06x}");
+    println!("measure: a = {a:#06x}, b = {b:#06x}");
+    println!("(shipped stimulus in slm-fabric: 0x0a03*0x0423 -> 0x9d77*0xf7d6, score 19)");
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the stimulus searcher.
+
+use proptest::prelude::*;
+use slm_atpg::{Objective, StimulusSearch};
+use slm_netlist::generators::{array_multiplier, ripple_carry_adder};
+use slm_timing::{simulate_transition, DelayModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The search is deterministic in its seed.
+    #[test]
+    fn search_reproducible(seed in any::<u64>()) {
+        let nl = ripple_carry_adder(8).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let s1 = StimulusSearch::new(&ann, Objective::MaxSettleTime { endpoint: 7 }).run(4, seed);
+        let s2 = StimulusSearch::new(&ann, Objective::MaxSettleTime { endpoint: 7 }).run(4, seed);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// No stimulus can beat the STA bound at its endpoint, and the
+    /// reported score always re-simulates exactly.
+    #[test]
+    fn score_bounded_by_sta_and_exact(seed in any::<u64>(), endpoint in 0usize..9) {
+        let nl = ripple_carry_adder(8).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let bound = ann.sta().unwrap().output_arrivals_ps()[endpoint];
+        let found = StimulusSearch::new(&ann, Objective::MaxSettleTime { endpoint }).run(3, seed);
+        // per-hop femtosecond rounding in the event simulator can nudge
+        // an arrival a fraction of a picosecond past the f64 STA value
+        prop_assert!(found.score <= bound + 0.05, "score {} > STA {bound}", found.score);
+        let waves = simulate_transition(&ann, &found.reset, &found.measure).unwrap();
+        let resim = waves.output_waves()[endpoint].settle_time_fs() as f64 / 1000.0;
+        prop_assert!((resim - found.score).abs() < 1e-6);
+    }
+
+    /// The window objective's score never exceeds the output count and
+    /// re-simulates exactly.
+    #[test]
+    fn window_score_consistent(seed in any::<u64>()) {
+        let nl = array_multiplier(5).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let (lo, hi) = (400.0, 2500.0);
+        let found = StimulusSearch::new(
+            &ann,
+            Objective::MaxActiveEndpoints { window_lo_ps: lo, window_hi_ps: hi },
+        )
+        .run(2, seed);
+        prop_assert!(found.score <= nl.outputs().len() as f64);
+        let waves = simulate_transition(&ann, &found.reset, &found.measure).unwrap();
+        let count = waves
+            .output_waves()
+            .iter()
+            .filter(|w| {
+                w.transitions
+                    .iter()
+                    .any(|&(t, _)| t >= (lo * 1000.0) as u64 && t <= (hi * 1000.0) as u64)
+            })
+            .count() as f64;
+        prop_assert_eq!(count, found.score);
+    }
+
+    /// More restarts never yield a worse result (monotone improvement).
+    #[test]
+    fn restarts_monotone(seed in any::<u64>()) {
+        let nl = ripple_carry_adder(6).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let obj = Objective::MaxSettleTime { endpoint: 5 };
+        let few = StimulusSearch::new(&ann, obj).run(1, seed);
+        let more = StimulusSearch::new(&ann, obj).run(5, seed);
+        prop_assert!(more.score >= few.score);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the structural checker: no false positives
+//! on generated benign logic, no false negatives on the known-malicious
+//! families, across their whole parameter ranges.
+
+use proptest::prelude::*;
+use slm_checker::{check_structure, check_timing, CheckKind};
+use slm_netlist::generators::{
+    alu, array_multiplier, carry_lookahead_adder, carry_select_adder, equality_comparator,
+    kogge_stone_adder, parity_tree, ring_oscillator, ripple_carry_adder, tdc_delay_line,
+    wallace_multiplier,
+};
+use slm_timing::DelayModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every benign generator output passes the structural checker at
+    /// every size — the stealth property must not depend on a lucky
+    /// width.
+    #[test]
+    fn benign_circuits_never_flagged(n in 1usize..48, m in 2usize..12) {
+        for nl in [
+            ripple_carry_adder(n).unwrap(),
+            carry_lookahead_adder(n).unwrap(),
+            carry_select_adder(n).unwrap(),
+            kogge_stone_adder(n).unwrap(),
+            alu(n).unwrap(),
+            array_multiplier(m).unwrap(),
+            wallace_multiplier(m).unwrap(),
+            equality_comparator(n).unwrap(),
+            parity_tree(n).unwrap(),
+        ] {
+            let r = check_structure(&nl);
+            prop_assert!(r.is_clean(), "{} flagged: {:?}", nl.name(), r.findings);
+        }
+    }
+
+    /// Ring oscillators are flagged at every stage count.
+    #[test]
+    fn ring_oscillators_always_flagged(stages in 1usize..40) {
+        let stages = stages * 2; // must be even to oscillate
+        let ro = ring_oscillator(stages).unwrap();
+        prop_assert!(check_structure(&ro).flagged(CheckKind::CombinationalLoop));
+    }
+
+    /// TDC delay lines are flagged from the minimum sensor length up.
+    #[test]
+    fn tdc_lines_flagged_above_threshold(stages in 16usize..128) {
+        let tdc = tdc_delay_line(stages).unwrap();
+        prop_assert!(
+            check_structure(&tdc).flagged(CheckKind::DelayLineSensor),
+            "{stages}-stage line must be flagged"
+        );
+    }
+
+    /// The strict timing check is exact: it fires iff the requested
+    /// clock exceeds fmax.
+    #[test]
+    fn strict_timing_matches_sta(n in 4usize..64, req_pct in 10u32..400) {
+        let nl = ripple_carry_adder(n).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let fmax = ann.sta().unwrap().fmax_mhz();
+        let requested = fmax * f64::from(req_pct) / 100.0;
+        let fired = check_timing(&ann, requested).flagged(CheckKind::TimingOverclock);
+        prop_assert_eq!(fired, requested > fmax);
+    }
+}

@@ -1,0 +1,286 @@
+//! Correlation power analysis against the AES last round.
+
+use serde::{Deserialize, Serialize};
+use slm_aes::soft::INV_SBOX;
+
+/// The paper's hypothesis: "textbook CPA using a single bit mask model
+/// before the final SBox computation".
+///
+/// For a key-byte candidate `k`, the predicted leakage of a trace with
+/// ciphertext `ct` is bit `bit` of `INV_SBOX[ct[ct_byte] ^ k]` — one bit
+/// of the state entering the final SubBytes. A correct candidate
+/// partitions traces into two populations whose mean power differs;
+/// wrong candidates shuffle the partition and decorrelate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LastRoundModel {
+    /// Which ciphertext byte (and thus which last-round-key byte) is
+    /// attacked. The paper attacks the 4th byte (index 3).
+    pub ct_byte: usize,
+    /// Which bit of the pre-SubBytes value is predicted (paper: bit 0).
+    pub bit: u8,
+}
+
+impl LastRoundModel {
+    /// The paper's target: 1st bit of the 4th byte of the last round key.
+    pub fn paper_target() -> Self {
+        LastRoundModel { ct_byte: 3, bit: 0 }
+    }
+
+    /// Predicted leakage bit for candidate `k` on ciphertext `ct`.
+    #[inline]
+    pub fn hypothesis(&self, ct: &[u8; 16], k: u8) -> bool {
+        (INV_SBOX[(ct[self.ct_byte] ^ k) as usize] >> self.bit) & 1 == 1
+    }
+}
+
+/// Streaming binned CPA.
+///
+/// Traces are binned by the attacked ciphertext-byte value (256 bins),
+/// which makes adding a trace O(points) and evaluating all 256
+/// candidates O(256² · points) — independent of the trace count, so
+/// correlation-progress curves over 500 k traces are cheap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpaAttack {
+    model: LastRoundModel,
+    points: usize,
+    /// Per ct-byte-value trace count (256 entries).
+    bin_count: Vec<u64>,
+    /// Per ct-byte-value, per point: sum of trace values.
+    bin_sum: Vec<f64>, // 256 × points
+    /// Per point: sum of squares over all traces.
+    sum_sq: Vec<f64>,
+    traces: u64,
+}
+
+impl CpaAttack {
+    /// Creates an attack on `points` trace points per encryption.
+    pub fn new(model: LastRoundModel, points: usize) -> Self {
+        CpaAttack {
+            model,
+            points,
+            bin_count: vec![0; 256],
+            bin_sum: vec![0.0; 256 * points],
+            sum_sq: vec![0.0; points],
+            traces: 0,
+        }
+    }
+
+    /// The hypothesis model under attack.
+    pub fn model(&self) -> &LastRoundModel {
+        &self.model
+    }
+
+    /// Number of points per trace.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// Number of traces absorbed so far.
+    pub fn traces(&self) -> u64 {
+        self.traces
+    }
+
+    /// Absorbs one trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` differs from the configured point count.
+    #[inline]
+    pub fn add_trace(&mut self, ct: &[u8; 16], samples: &[f64]) {
+        assert_eq!(samples.len(), self.points, "trace point count mismatch");
+        let c = ct[self.model.ct_byte] as usize;
+        self.bin_count[c] += 1;
+        let row = &mut self.bin_sum[c * self.points..(c + 1) * self.points];
+        for ((r, q), &x) in row.iter_mut().zip(&mut self.sum_sq).zip(samples) {
+            *r += x;
+            *q += x * x;
+        }
+        self.traces += 1;
+    }
+
+    /// Pearson correlation of every key candidate at every point:
+    /// `result[k][p]`.
+    pub fn correlations(&self) -> Vec<Vec<f64>> {
+        let n = self.traces as f64;
+        let mut total_sum = vec![0.0; self.points];
+        for c in 0..256 {
+            let row = &self.bin_sum[c * self.points..(c + 1) * self.points];
+            for (acc, &x) in total_sum.iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
+        let mut out = Vec::with_capacity(256);
+        for k in 0..=255u8 {
+            // Candidate k sends bin c to hypothesis hyp(c): fold bins.
+            let mut n1 = 0u64;
+            let mut s1 = vec![0.0; self.points];
+            for c in 0..256usize {
+                if self.bin_count[c] == 0 {
+                    continue;
+                }
+                // hypothesis depends only on the ct byte value
+                let mut ct = [0u8; 16];
+                ct[self.model.ct_byte] = c as u8;
+                if self.model.hypothesis(&ct, k) {
+                    n1 += self.bin_count[c];
+                    let row = &self.bin_sum[c * self.points..(c + 1) * self.points];
+                    for (acc, &x) in s1.iter_mut().zip(row) {
+                        *acc += x;
+                    }
+                }
+            }
+            let n1f = n1 as f64;
+            let mut row = Vec::with_capacity(self.points);
+            for p in 0..self.points {
+                let denom_h = (n1f * (n - n1f)).sqrt();
+                let denom_x = (n * self.sum_sq[p] - total_sum[p] * total_sum[p]).sqrt();
+                let denom = denom_h * denom_x;
+                row.push(if denom > 0.0 {
+                    (n * s1[p] - n1f * total_sum[p]) / denom
+                } else {
+                    0.0
+                });
+            }
+            out.push(row);
+        }
+        out
+    }
+
+    /// Max |r| over points for every candidate.
+    pub fn peak_correlations(&self) -> [f64; 256] {
+        let corrs = self.correlations();
+        let mut out = [0.0f64; 256];
+        for (k, row) in corrs.iter().enumerate() {
+            out[k] = row.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+        }
+        out
+    }
+
+    /// The candidate with the highest peak |r| and that correlation.
+    pub fn best_candidate(&self) -> (u8, f64) {
+        let peaks = self.peak_correlations();
+        let mut best = 0usize;
+        for k in 1..256 {
+            if peaks[k] > peaks[best] {
+                best = k;
+            }
+        }
+        (best as u8, peaks[best])
+    }
+
+    /// Ranking position of `key` (0 = leading candidate).
+    pub fn rank_of(&self, key: u8) -> usize {
+        let peaks = self.peak_correlations();
+        let target = peaks[key as usize];
+        peaks.iter().filter(|&&p| p > target).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slm_aes::soft;
+    use slm_pdn::noise::Rng64;
+
+    fn run_attack(noise_sigma: f64, traces: usize, seed: u64) -> (CpaAttack, u8) {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let k10 = soft::key_expansion(&key)[10];
+        let model = LastRoundModel::paper_target();
+        let mut attack = CpaAttack::new(model, 2);
+        let mut rng = Rng64::new(seed);
+        for _ in 0..traces {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            let ct = soft::encrypt(&key, &pt);
+            let h = f64::from(u8::from(model.hypothesis(&ct, k10[model.ct_byte])));
+            // point 0: pure noise; point 1: leaky
+            attack.add_trace(
+                &ct,
+                &[
+                    rng.normal_scaled(1.0),
+                    h + rng.normal_scaled(noise_sigma),
+                ],
+            );
+        }
+        (attack, k10[3])
+    }
+
+    #[test]
+    fn recovers_key_with_moderate_noise() {
+        let (attack, k) = run_attack(1.5, 3000, 11);
+        let (best, peak) = attack.best_candidate();
+        assert_eq!(best, k);
+        assert!(peak > 0.1, "peak = {peak}");
+        assert_eq!(attack.rank_of(k), 0);
+    }
+
+    #[test]
+    fn fails_with_too_few_traces_in_heavy_noise() {
+        let (attack, k) = run_attack(60.0, 200, 12);
+        // With SNR ~1/60 and 200 traces the correct key should not be
+        // reliably distinguished.
+        assert!(attack.rank_of(k) > 0, "attack should not have converged");
+    }
+
+    #[test]
+    fn correlation_lands_on_leaky_point() {
+        let (attack, k) = run_attack(0.5, 5000, 13);
+        let corr = &attack.correlations()[k as usize];
+        assert!(
+            corr[1].abs() > corr[0].abs() + 0.1,
+            "point 1 carries the leak: {corr:?}"
+        );
+    }
+
+    #[test]
+    fn correlation_magnitude_matches_theory() {
+        // leak = h + noise(σ): point-biserial r = 0.5/sqrt(0.25 + σ²)
+        let sigma = 1.0f64;
+        let (attack, k) = run_attack(sigma, 40_000, 14);
+        let expect = 0.5 / (0.25 + sigma * sigma).sqrt();
+        let got = attack.correlations()[k as usize][1];
+        assert!(
+            (got - expect).abs() < 0.03,
+            "r = {got}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn empty_attack_is_neutral() {
+        let attack = CpaAttack::new(LastRoundModel::paper_target(), 3);
+        assert_eq!(attack.traces(), 0);
+        let peaks = attack.peak_correlations();
+        assert!(peaks.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "point count mismatch")]
+    fn wrong_point_count_panics() {
+        let mut attack = CpaAttack::new(LastRoundModel::paper_target(), 2);
+        attack.add_trace(&[0; 16], &[1.0]);
+    }
+
+    #[test]
+    fn hypothesis_inverts_last_round() {
+        // hypothesis(ct, k10[b]) equals the pre-SubBytes state bit.
+        let key = [9u8; 16];
+        let k10 = soft::key_expansion(&key)[10];
+        let model = LastRoundModel { ct_byte: 5, bit: 2 };
+        let mut rng = Rng64::new(3);
+        for _ in 0..32 {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            let states = soft::encrypt_round_states(&key, &pt);
+            let ct = states[10];
+            // find the pre-SubBytes byte that lands at ct position 5
+            let j = (0..16)
+                .find(|&j| soft::shift_rows_dest(j) == model.ct_byte)
+                .unwrap();
+            let state_bit = (states[9][j] >> model.bit) & 1 == 1;
+            assert_eq!(model.hypothesis(&ct, k10[model.ct_byte]), state_bit);
+        }
+    }
+}

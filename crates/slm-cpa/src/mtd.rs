@@ -1,0 +1,125 @@
+//! Measurements-to-disclosure: how many traces until the correct key
+//! leads and keeps leading.
+
+use serde::{Deserialize, Serialize};
+
+/// One checkpoint of an attack's progress: the peak |r| of every
+/// candidate after `traces` traces. This is one x-position of the
+/// paper's "correlation progress over 500k traces" plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressPoint {
+    /// Traces absorbed at this checkpoint.
+    pub traces: u64,
+    /// Peak |r| per key candidate.
+    pub peak_corr: Vec<f64>,
+}
+
+impl ProgressPoint {
+    /// Whether `key` strictly leads every other candidate.
+    pub fn key_leads(&self, key: u8) -> bool {
+        let target = self.peak_corr[key as usize];
+        self.peak_corr
+            .iter()
+            .enumerate()
+            .all(|(k, &p)| k == key as usize || p < target)
+    }
+
+    /// Margin between the correct key's correlation and the best wrong
+    /// candidate (negative when the key does not lead).
+    pub fn margin(&self, key: u8) -> f64 {
+        let target = self.peak_corr[key as usize];
+        let best_other = self
+            .peak_corr
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != key as usize)
+            .map(|(_, &p)| p)
+            .fold(f64::NEG_INFINITY, f64::max);
+        target - best_other
+    }
+}
+
+/// Rank of the correct key at every checkpoint — the "guessing entropy"
+/// trajectory (rank 0 = disclosed). Complements
+/// [`measurements_to_disclosure`] with how *close* an unconverged attack
+/// got.
+pub fn rank_progress(progress: &[ProgressPoint], key: u8) -> Vec<(u64, usize)> {
+    progress
+        .iter()
+        .map(|p| {
+            let target = p.peak_corr[key as usize];
+            let rank = p.peak_corr.iter().filter(|&&c| c > target).count();
+            (p.traces, rank)
+        })
+        .collect()
+}
+
+/// The first checkpoint from which the correct key leads at every later
+/// checkpoint — the number the paper reports as "revealed after about
+/// N traces". `None` if the key never stabilizes in the lead.
+pub fn measurements_to_disclosure(progress: &[ProgressPoint], key: u8) -> Option<u64> {
+    let first_stable = progress
+        .iter()
+        .rposition(|p| !p.key_leads(key))
+        .map_or(0, |i| i + 1);
+    progress.get(first_stable).map(|p| p.traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(traces: u64, correct: f64, other: f64) -> ProgressPoint {
+        let mut peak_corr = vec![other; 256];
+        peak_corr[42] = correct;
+        ProgressPoint { traces, peak_corr }
+    }
+
+    #[test]
+    fn disclosure_after_stabilization() {
+        let progress = vec![
+            point(100, 0.1, 0.2),  // not leading
+            point(200, 0.3, 0.2),  // leads
+            point(300, 0.1, 0.2),  // lost the lead again
+            point(400, 0.4, 0.2),  // leads for good
+            point(500, 0.5, 0.2),
+        ];
+        assert_eq!(measurements_to_disclosure(&progress, 42), Some(400));
+    }
+
+    #[test]
+    fn immediate_disclosure() {
+        let progress = vec![point(100, 0.9, 0.1), point(200, 0.9, 0.1)];
+        assert_eq!(measurements_to_disclosure(&progress, 42), Some(100));
+    }
+
+    #[test]
+    fn never_disclosed() {
+        let progress = vec![point(100, 0.1, 0.2), point(200, 0.1, 0.3)];
+        assert_eq!(measurements_to_disclosure(&progress, 42), None);
+    }
+
+    #[test]
+    fn margin_signs() {
+        assert!(point(1, 0.5, 0.2).margin(42) > 0.0);
+        assert!(point(1, 0.1, 0.2).margin(42) < 0.0);
+        assert!(point(1, 0.5, 0.2).key_leads(42));
+        assert!(!point(1, 0.1, 0.2).key_leads(42));
+    }
+
+    #[test]
+    fn rank_trajectory() {
+        let progress = vec![
+            point(100, 0.1, 0.2), // everyone else higher → rank 255
+            point(200, 0.3, 0.2), // leads → rank 0
+        ];
+        let ranks = rank_progress(&progress, 42);
+        assert_eq!(ranks, vec![(100, 255), (200, 0)]);
+    }
+
+    #[test]
+    fn tie_does_not_count_as_leading() {
+        let p = point(1, 0.2, 0.2);
+        assert!(!p.key_leads(42));
+    }
+}

@@ -1,0 +1,338 @@
+//! Trace-file storage.
+//!
+//! The paper's host script "transmit\[s\], receiv\[es\] and stor\[es\] traces
+//! and tuples of plaintexts and ciphertexts. In addition to the raw
+//! data, a separate file with traces only containing relevant bits for
+//! the CPA is stored." This module is that storage layer: a compact,
+//! self-describing binary format for post-processed trace campaigns,
+//! written/read through any `std::io` stream so campaigns can be
+//! captured once and re-analyzed offline.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic "SLMT" | version u16 | points u16 | count u64
+//! count × ( ciphertext [u8; 16] | points × f32 )
+//! fletcher-64 checksum over everything above
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Current format version.
+pub const TRACE_FILE_VERSION: u16 = 1;
+
+const MAGIC: [u8; 4] = *b"SLMT";
+
+/// One stored trace: the ciphertext and its post-processed points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Ciphertext returned with the capture.
+    pub ciphertext: [u8; 16],
+    /// Post-processed trace points (stored as `f32`).
+    pub points: Vec<f32>,
+}
+
+/// Streaming checksum (Fletcher-64 over 32-bit words, byte-padded).
+#[derive(Debug, Clone, Default)]
+struct Fletcher64 {
+    a: u64,
+    b: u64,
+    pending: [u8; 4],
+    pending_len: usize,
+}
+
+impl Fletcher64 {
+    fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.pending[self.pending_len] = byte;
+            self.pending_len += 1;
+            if self.pending_len == 4 {
+                let w = u32::from_le_bytes(self.pending) as u64;
+                self.a = (self.a + w) % 0xffff_ffff;
+                self.b = (self.b + self.a) % 0xffff_ffff;
+                self.pending_len = 0;
+            }
+        }
+    }
+
+    fn finish(mut self) -> u64 {
+        if self.pending_len > 0 {
+            for i in self.pending_len..4 {
+                self.pending[i] = 0;
+            }
+            let w = u32::from_le_bytes(self.pending) as u64;
+            self.a = (self.a + w) % 0xffff_ffff;
+            self.b = (self.b + self.a) % 0xffff_ffff;
+        }
+        (self.b << 32) | self.a
+    }
+}
+
+/// Writes a trace campaign.
+///
+/// Records must all have the same point count; the writer validates and
+/// maintains the checksum. Call [`TraceWriter::finish`] to seal the
+/// stream.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    points: u16,
+    count: u64,
+    sum: Fletcher64,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a new trace file with `points` points per trace.
+    ///
+    /// The header is written with a zero count placeholder strategy:
+    /// because streams may not be seekable, the count is written at
+    /// `finish` time into the trailer instead, and readers take the
+    /// count from the trailer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn new(mut sink: W, points: u16) -> io::Result<Self> {
+        let mut sum = Fletcher64::default();
+        let mut header = Vec::with_capacity(8);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&TRACE_FILE_VERSION.to_le_bytes());
+        header.extend_from_slice(&points.to_le_bytes());
+        sink.write_all(&header)?;
+        sum.update(&header);
+        Ok(TraceWriter {
+            sink,
+            points,
+            count: 0,
+            sum,
+            finished: false,
+        })
+    }
+
+    /// Appends one trace.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the point count differs from the header;
+    /// otherwise propagates I/O errors.
+    pub fn write_trace(&mut self, ct: &[u8; 16], points: &[f64]) -> io::Result<()> {
+        if points.len() != usize::from(self.points) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "expected {} points per trace, got {}",
+                    self.points,
+                    points.len()
+                ),
+            ));
+        }
+        let mut buf = Vec::with_capacity(16 + 4 * points.len());
+        buf.extend_from_slice(ct);
+        for &p in points {
+            buf.extend_from_slice(&(p as f32).to_le_bytes());
+        }
+        self.sink.write_all(&buf)?;
+        self.sum.update(&buf);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Number of traces written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Writes the trailer (count + checksum) and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        let count_bytes = self.count.to_le_bytes();
+        self.sink.write_all(&count_bytes)?;
+        self.sum.update(&count_bytes);
+        let digest = std::mem::take(&mut self.sum).finish();
+        self.sink.write_all(&digest.to_le_bytes())?;
+        self.finished = true;
+        Ok(self.sink)
+    }
+}
+
+/// Reads a trace campaign written by [`TraceWriter`], validating the
+/// checksum.
+///
+/// # Errors
+///
+/// `InvalidData` on bad magic, version, truncation, or checksum
+/// mismatch.
+pub fn read_traces<R: Read>(mut source: R) -> io::Result<Vec<TraceRecord>> {
+    let mut data = Vec::new();
+    source.read_to_end(&mut data)?;
+    if data.len() < 8 + 8 + 8 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated file"));
+    }
+    if data[..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = u16::from_le_bytes([data[4], data[5]]);
+    if version != TRACE_FILE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let points = usize::from(u16::from_le_bytes([data[6], data[7]]));
+    let body_end = data.len() - 8;
+    // verify checksum over everything except the final digest
+    let mut sum = Fletcher64::default();
+    sum.update(&data[..body_end]);
+    let expect = u64::from_le_bytes(data[body_end..].try_into().expect("8 bytes"));
+    if sum.finish() != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checksum mismatch",
+        ));
+    }
+    let count_off = body_end - 8;
+    let count = u64::from_le_bytes(data[count_off..body_end].try_into().expect("8 bytes"));
+    let record_len = 16 + 4 * points;
+    let expected_len = 8 + count as usize * record_len;
+    if count_off != expected_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("length mismatch: {count} records of {record_len} bytes"),
+        ));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    let mut off = 8;
+    for _ in 0..count {
+        let mut ciphertext = [0u8; 16];
+        ciphertext.copy_from_slice(&data[off..off + 16]);
+        off += 16;
+        let mut pts = Vec::with_capacity(points);
+        for _ in 0..points {
+            pts.push(f32::from_le_bytes(
+                data[off..off + 4].try_into().expect("4 bytes"),
+            ));
+            off += 4;
+        }
+        out.push(TraceRecord {
+            ciphertext,
+            points: pts,
+        });
+    }
+    Ok(out)
+}
+
+/// Replays a stored campaign into a [`crate::CpaAttack`] — the offline
+/// re-analysis path.
+pub fn replay_into(records: &[TraceRecord], attack: &mut crate::CpaAttack) {
+    let mut buf = Vec::new();
+    for r in records {
+        buf.clear();
+        buf.extend(r.points.iter().map(|&p| f64::from(p)));
+        attack.add_trace(&r.ciphertext, &buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpaAttack, LastRoundModel};
+    use slm_aes::soft;
+    use slm_pdn::noise::Rng64;
+
+    fn sample_records(n: usize, points: usize, seed: u64) -> Vec<TraceRecord> {
+        let mut rng = Rng64::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut ciphertext = [0u8; 16];
+                rng.fill_bytes(&mut ciphertext);
+                TraceRecord {
+                    ciphertext,
+                    points: (0..points).map(|_| rng.normal() as f32).collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample_records(100, 7, 1);
+        let mut w = TraceWriter::new(Vec::new(), 7).unwrap();
+        for r in &records {
+            let pts: Vec<f64> = r.points.iter().map(|&p| f64::from(p)).collect();
+            w.write_trace(&r.ciphertext, &pts).unwrap();
+        }
+        assert_eq!(w.count(), 100);
+        let bytes = w.finish().unwrap();
+        let back = read_traces(&bytes[..]).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_campaign_roundtrips() {
+        let w = TraceWriter::new(Vec::new(), 3).unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(read_traces(&bytes[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_point_count_rejected_at_write() {
+        let mut w = TraceWriter::new(Vec::new(), 4).unwrap();
+        let err = w.write_trace(&[0; 16], &[1.0]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut w = TraceWriter::new(Vec::new(), 2).unwrap();
+        w.write_trace(&[7; 16], &[1.0, 2.0]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let err = read_traces(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let w = TraceWriter::new(Vec::new(), 1).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(read_traces(&bad[..]).is_err());
+        let mut badv = bytes;
+        badv[4] = 99;
+        assert!(read_traces(&badv[..]).is_err());
+    }
+
+    #[test]
+    fn replay_reproduces_online_attack() {
+        // An attack over stored traces must equal the streaming attack.
+        let key = [5u8; 16];
+        let k10 = soft::key_expansion(&key)[10];
+        let model = LastRoundModel::paper_target();
+        let mut rng = Rng64::new(9);
+        let mut online = CpaAttack::new(model, 1);
+        let mut w = TraceWriter::new(Vec::new(), 1).unwrap();
+        for _ in 0..1500 {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            let ct = soft::encrypt(&key, &pt);
+            let h = f64::from(u8::from(model.hypothesis(&ct, k10[3])));
+            let x = h + rng.normal_scaled(1.0);
+            online.add_trace(&ct, &[x]);
+            // store the f32-rounded value the file will carry, so both
+            // attacks see identical data
+            w.write_trace(&ct, &[f64::from(x as f32)]).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let records = read_traces(&bytes[..]).unwrap();
+        let mut offline = CpaAttack::new(model, 1);
+        replay_into(&records, &mut offline);
+        assert_eq!(offline.traces(), online.traces());
+        assert_eq!(offline.best_candidate().0, k10[3]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the CPA toolbox.
+
+use proptest::prelude::*;
+use slm_aes::soft;
+use slm_cpa::{
+    measurements_to_disclosure, rank_progress, CpaAttack, LastRoundModel, MultiByteCpa,
+    ProgressPoint, WelchTTest,
+};
+use slm_pdn::noise::Rng64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CPA recovers a planted key from synthetic single-bit leakage for
+    /// any key, target byte and bit.
+    #[test]
+    fn cpa_recovers_any_planted_key(key in any::<[u8; 16]>(),
+                                    ct_byte in 0usize..16,
+                                    bit in 0u8..8,
+                                    seed in any::<u64>()) {
+        let k10 = soft::key_expansion(&key)[10];
+        let model = LastRoundModel { ct_byte, bit };
+        let mut attack = CpaAttack::new(model, 1);
+        let mut rng = Rng64::new(seed);
+        for _ in 0..4000 {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            let ct = soft::encrypt(&key, &pt);
+            let h = f64::from(u8::from(model.hypothesis(&ct, k10[ct_byte])));
+            attack.add_trace(&ct, &[h + rng.normal_scaled(1.0)]);
+        }
+        let (best, peak) = attack.best_candidate();
+        prop_assert_eq!(best, k10[ct_byte]);
+        prop_assert!(peak > 0.2, "peak = {peak}");
+    }
+
+    /// Correlations are invariant under affine transforms of the traces
+    /// (CPA normalizes means and scales).
+    #[test]
+    fn cpa_affine_invariant(scale in 0.5f64..20.0, offset in -100.0f64..100.0,
+                            seed in any::<u64>()) {
+        let key = [3u8; 16];
+        let k10 = soft::key_expansion(&key)[10];
+        let model = LastRoundModel::paper_target();
+        let mut a1 = CpaAttack::new(model, 1);
+        let mut a2 = CpaAttack::new(model, 1);
+        let mut rng = Rng64::new(seed);
+        for _ in 0..800 {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            let ct = soft::encrypt(&key, &pt);
+            let h = f64::from(u8::from(model.hypothesis(&ct, k10[3])));
+            let x = h + rng.normal_scaled(1.0);
+            a1.add_trace(&ct, &[x]);
+            a2.add_trace(&ct, &[x * scale + offset]);
+        }
+        let c1 = a1.correlations();
+        let c2 = a2.correlations();
+        for k in 0..256 {
+            prop_assert!((c1[k][0] - c2[k][0]).abs() < 1e-9,
+                "candidate {k}: {} vs {}", c1[k][0], c2[k][0]);
+        }
+    }
+
+    /// |r| is always within [0, 1].
+    #[test]
+    fn correlation_bounded(seed in any::<u64>(), n in 10u32..300) {
+        let model = LastRoundModel::paper_target();
+        let mut attack = CpaAttack::new(model, 2);
+        let mut rng = Rng64::new(seed);
+        for _ in 0..n {
+            let mut ct = [0u8; 16];
+            rng.fill_bytes(&mut ct);
+            attack.add_trace(&ct, &[rng.normal(), rng.uniform()]);
+        }
+        for row in attack.correlations() {
+            for r in row {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+            }
+        }
+    }
+
+    /// MTD is consistent with rank_progress: at and after the MTD
+    /// checkpoint, the correct key has rank 0.
+    #[test]
+    fn mtd_consistent_with_ranks(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let key = 42u8;
+        let progress: Vec<ProgressPoint> = (1..=10)
+            .map(|i| {
+                let mut peak_corr: Vec<f64> = (0..256).map(|_| rng.uniform() * 0.1).collect();
+                if i > 5 {
+                    peak_corr[key as usize] = 0.5; // stabilizes from checkpoint 6
+                }
+                ProgressPoint {
+                    traces: i * 100,
+                    peak_corr,
+                }
+            })
+            .collect();
+        let mtd = measurements_to_disclosure(&progress, key);
+        let ranks = rank_progress(&progress, key);
+        if let Some(at) = mtd {
+            for &(traces, rank) in &ranks {
+                if traces >= at {
+                    prop_assert_eq!(rank, 0, "rank nonzero after MTD at trace {}", traces);
+                }
+            }
+        }
+    }
+
+    /// The multi-byte attack agrees with sixteen independent single-byte
+    /// attacks.
+    #[test]
+    fn multibyte_matches_single(seed in any::<u64>()) {
+        let key = [9u8; 16];
+        let k10 = soft::key_expansion(&key)[10];
+        let mut multi = MultiByteCpa::new(0, 1);
+        let mut single: Vec<CpaAttack> = (0..16)
+            .map(|b| CpaAttack::new(LastRoundModel { ct_byte: b, bit: 0 }, 1))
+            .collect();
+        let mut rng = Rng64::new(seed);
+        for _ in 0..300 {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            let ct = soft::encrypt(&key, &pt);
+            let x = rng.normal();
+            multi.add_trace(&ct, &[x]);
+            for s in &mut single {
+                s.add_trace(&ct, &[x]);
+            }
+        }
+        for (b, s) in single.iter().enumerate() {
+            prop_assert_eq!(multi.byte_attack(b).best_candidate(), s.best_candidate());
+        }
+        let _ = k10;
+    }
+
+    /// Welch t of identical populations stays small; a planted shift is
+    /// detected.
+    #[test]
+    fn welch_t_detects_shift(shift in 0.3f64..2.0, seed in any::<u64>()) {
+        let mut t = WelchTTest::new(1);
+        let mut rng = Rng64::new(seed);
+        for _ in 0..4000 {
+            t.add(false, &[rng.normal()]);
+            t.add(true, &[rng.normal() + shift]);
+        }
+        prop_assert!(t.max_abs_t() > 4.5, "t = {}", t.max_abs_t());
+    }
+}

@@ -1,0 +1,79 @@
+//! Fabric error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while assembling or running the fabric simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// The benign circuit failed to build.
+    Circuit(slm_netlist::NetlistError),
+    /// Timing analysis of the benign circuit failed.
+    Timing(slm_timing::TimingError),
+    /// The requested clock frequency cannot be synthesized by the MMCM.
+    UnachievableClock {
+        /// Requested frequency, MHz.
+        requested_mhz: f64,
+    },
+    /// A UART frame failed its checksum or framing.
+    Transport(String),
+    /// Trace capture overflowed the BRAM and `strict` capture is on.
+    CaptureOverflow {
+        /// Configured capture depth.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Circuit(e) => write!(f, "benign circuit error: {e}"),
+            FabricError::Timing(e) => write!(f, "timing analysis error: {e}"),
+            FabricError::UnachievableClock { requested_mhz } => {
+                write!(f, "MMCM cannot synthesize {requested_mhz} MHz")
+            }
+            FabricError::Transport(msg) => write!(f, "transport error: {msg}"),
+            FabricError::CaptureOverflow { depth } => {
+                write!(f, "BRAM capture overflow (depth {depth})")
+            }
+        }
+    }
+}
+
+impl Error for FabricError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FabricError::Circuit(e) => Some(e),
+            FabricError::Timing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<slm_netlist::NetlistError> for FabricError {
+    fn from(e: slm_netlist::NetlistError) -> Self {
+        FabricError::Circuit(e)
+    }
+}
+
+impl From<slm_timing::TimingError> for FabricError {
+    fn from(e: slm_timing::TimingError) -> Self {
+        FabricError::Timing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FabricError::UnachievableClock {
+            requested_mhz: 17.3,
+        };
+        assert!(e.to_string().contains("17.3"));
+        let e: FabricError = slm_timing::TimingError::CyclicNetlist.into();
+        assert!(e.source().is_some());
+    }
+}

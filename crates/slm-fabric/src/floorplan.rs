@@ -1,0 +1,426 @@
+//! Region-constrained placement and floorplan rendering.
+//!
+//! Reproduces the content of the paper's Figs. 3 and 4: the mapped
+//! benign circuit is *scattered* across its tenant region with its
+//! voltage-sensitive endpoints sprinkled throughout, while a purpose-
+//! built TDC is a compact column — the visual argument for why
+//! structural/placement screening cannot spot the benign sensor.
+
+use serde::{Deserialize, Serialize};
+use slm_pdn::noise::Rng64;
+
+/// What occupies a CLB cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Unused fabric.
+    Empty,
+    /// Benign-circuit logic (Figs. 3/4: yellow).
+    BenignLogic,
+    /// A benign-circuit cell driving a sensitive endpoint (red).
+    SensitiveEndpoint,
+    /// TDC sensor logic (green).
+    Tdc,
+    /// AES victim logic (lilac).
+    Aes,
+    /// Ring-oscillator array (light blue).
+    Ro,
+}
+
+impl CellKind {
+    /// Single-character glyph for ASCII rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            CellKind::Empty => '.',
+            CellKind::BenignLogic => 'b',
+            CellKind::SensitiveEndpoint => 'S',
+            CellKind::Tdc => 'T',
+            CellKind::Aes => 'A',
+            CellKind::Ro => 'r',
+        }
+    }
+}
+
+/// A rectangular region of the CLB grid (a tenant's partial-
+/// reconfiguration slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left column.
+    pub x: usize,
+    /// Top row.
+    pub y: usize,
+    /// Width in cells.
+    pub w: usize,
+    /// Height in cells.
+    pub h: usize,
+}
+
+impl Rect {
+    /// Number of cells.
+    pub fn area(&self) -> usize {
+        self.w * self.h
+    }
+}
+
+/// A placed floorplan on a CLB grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Floorplan {
+    width: usize,
+    height: usize,
+    cells: Vec<CellKind>,
+}
+
+impl Floorplan {
+    /// An empty grid.
+    pub fn new(width: usize, height: usize) -> Self {
+        Floorplan {
+            width,
+            height,
+            cells: vec![CellKind::Empty; width * height],
+        }
+    }
+
+    /// A grid sized like the XC7Z020 CLB array (approximately 50 × 50
+    /// usable CLB columns/rows for this model's purposes).
+    pub fn zynq7020() -> Self {
+        Self::new(50, 50)
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The cell at `(x, y)`.
+    pub fn cell(&self, x: usize, y: usize) -> CellKind {
+        self.cells[y * self.width + x]
+    }
+
+    /// Number of cells of a given kind.
+    pub fn count(&self, kind: CellKind) -> usize {
+        self.cells.iter().filter(|&&c| c == kind).count()
+    }
+
+    /// Scatter-places `count` cells of `kind` pseudo-randomly inside
+    /// `region` (mimicking how a mapper spreads a non-constrained
+    /// circuit), skipping occupied cells. Returns the placed positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not fit on the grid or has fewer free
+    /// cells than `count`.
+    pub fn scatter(
+        &mut self,
+        region: Rect,
+        kind: CellKind,
+        count: usize,
+        seed: u64,
+    ) -> Vec<(usize, usize)> {
+        assert!(region.x + region.w <= self.width, "region exceeds grid");
+        assert!(region.y + region.h <= self.height, "region exceeds grid");
+        let mut free: Vec<(usize, usize)> = (0..region.area())
+            .map(|i| (region.x + i % region.w, region.y + i / region.w))
+            .filter(|&(x, y)| self.cell(x, y) == CellKind::Empty)
+            .collect();
+        assert!(free.len() >= count, "region too small for {count} cells");
+        // Fisher–Yates with the deterministic workspace RNG.
+        let mut rng = Rng64::new(seed);
+        for i in (1..free.len()).rev() {
+            free.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let placed: Vec<(usize, usize)> = free.into_iter().take(count).collect();
+        for &(x, y) in &placed {
+            self.cells[y * self.width + x] = kind;
+        }
+        placed
+    }
+
+    /// Column-places `count` cells of `kind` as a compact vertical strip
+    /// starting at the region's top-left — how a placement-constrained
+    /// TDC looks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region cannot hold `count` cells.
+    pub fn column(&mut self, region: Rect, kind: CellKind, count: usize) -> Vec<(usize, usize)> {
+        assert!(count <= region.area(), "region too small");
+        let mut placed = Vec::with_capacity(count);
+        'outer: for dx in 0..region.w {
+            for dy in 0..region.h {
+                if placed.len() == count {
+                    break 'outer;
+                }
+                let (x, y) = (region.x + dx, region.y + dy);
+                self.cells[y * self.width + x] = kind;
+                placed.push((x, y));
+            }
+        }
+        placed
+    }
+
+    /// Upgrades `n` already-placed `BenignLogic` cells to
+    /// `SensitiveEndpoint` markers, pseudo-randomly (the red cells of
+    /// Figs. 3/4).
+    pub fn mark_sensitive(&mut self, n: usize, seed: u64) -> usize {
+        let mut idx: Vec<usize> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == CellKind::BenignLogic)
+            .map(|(i, _)| i)
+            .collect();
+        let mut rng = Rng64::new(seed);
+        for i in (1..idx.len()).rev() {
+            idx.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let marked = idx.len().min(n);
+        for &i in idx.iter().take(marked) {
+            self.cells[i] = CellKind::SensitiveEndpoint;
+        }
+        marked
+    }
+
+    /// Renders the grid as ASCII art with a legend.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height + 128);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(self.cell(x, y).glyph());
+            }
+            out.push('\n');
+        }
+        out.push_str(
+            "legend: b=benign logic  S=sensitive endpoint  T=TDC  A=AES  r=RO  .=empty\n",
+        );
+        out
+    }
+
+    /// Packing density of a kind: cells divided by bounding-box area.
+    /// A placement-constrained TDC is dense (≈ 1); a mapper-scattered
+    /// benign circuit is sparse — the quantitative form of the visual
+    /// contrast in Figs. 3/4.
+    pub fn density(&self, kind: CellKind) -> f64 {
+        let mut min_x = usize::MAX;
+        let mut min_y = usize::MAX;
+        let mut max_x = 0usize;
+        let mut max_y = 0usize;
+        let mut count = 0usize;
+        for i in 0..self.cells.len() {
+            if self.cells[i] == kind {
+                let (x, y) = (i % self.width, i / self.width);
+                min_x = min_x.min(x);
+                min_y = min_y.min(y);
+                max_x = max_x.max(x);
+                max_y = max_y.max(y);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return 0.0;
+        }
+        let area = (max_x - min_x + 1) * (max_y - min_y + 1);
+        count as f64 / area as f64
+    }
+
+    /// Renders the grid as a binary PPM (P6) image, `scale` pixels per
+    /// cell, using the Figs. 3/4 colour convention (benign yellow,
+    /// sensitive red, TDC green, AES lilac, RO light blue).
+    pub fn render_ppm(&self, scale: usize) -> Vec<u8> {
+        let scale = scale.max(1);
+        let (w, h) = (self.width * scale, self.height * scale);
+        let mut out = Vec::with_capacity(32 + 3 * w * h);
+        out.extend_from_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+        for py in 0..h {
+            for px in 0..w {
+                let cell = self.cell(px / scale, py / scale);
+                let rgb: [u8; 3] = match cell {
+                    CellKind::Empty => [24, 24, 28],
+                    CellKind::BenignLogic => [230, 200, 60],
+                    CellKind::SensitiveEndpoint => [220, 50, 40],
+                    CellKind::Tdc => [60, 180, 80],
+                    CellKind::Aes => [190, 130, 220],
+                    CellKind::Ro => [110, 190, 230],
+                };
+                out.extend_from_slice(&rgb);
+            }
+        }
+        out
+    }
+
+    /// Mean pairwise spread (RMS distance from centroid) of cells of a
+    /// kind — quantifies "scattered vs compact" between the benign
+    /// sensor and the TDC.
+    pub fn spread(&self, kind: CellKind) -> f64 {
+        let pts: Vec<(f64, f64)> = (0..self.cells.len())
+            .filter(|&i| self.cells[i] == kind)
+            .map(|i| ((i % self.width) as f64, (i / self.width) as f64))
+            .collect();
+        if pts.is_empty() {
+            return 0.0;
+        }
+        let (cx, cy) = (
+            pts.iter().map(|p| p.0).sum::<f64>() / pts.len() as f64,
+            pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64,
+        );
+        (pts.iter()
+            .map(|&(x, y)| (x - cx).powi(2) + (y - cy).powi(2))
+            .sum::<f64>()
+            / pts.len() as f64)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_stays_in_region_and_counts() {
+        let mut fp = Floorplan::zynq7020();
+        let region = Rect {
+            x: 5,
+            y: 5,
+            w: 20,
+            h: 20,
+        };
+        let placed = fp.scatter(region, CellKind::BenignLogic, 150, 1);
+        assert_eq!(placed.len(), 150);
+        assert_eq!(fp.count(CellKind::BenignLogic), 150);
+        for (x, y) in placed {
+            assert!((5..25).contains(&x) && (5..25).contains(&y));
+        }
+    }
+
+    #[test]
+    fn scatter_avoids_occupied() {
+        let mut fp = Floorplan::new(4, 4);
+        let region = Rect {
+            x: 0,
+            y: 0,
+            w: 4,
+            h: 4,
+        };
+        fp.column(region, CellKind::Tdc, 8);
+        let placed = fp.scatter(region, CellKind::BenignLogic, 8, 2);
+        assert_eq!(placed.len(), 8);
+        assert_eq!(fp.count(CellKind::Tdc), 8);
+    }
+
+    #[test]
+    fn tdc_column_is_more_compact_than_scatter() {
+        let mut fp = Floorplan::zynq7020();
+        fp.column(
+            Rect {
+                x: 0,
+                y: 0,
+                w: 2,
+                h: 40,
+            },
+            CellKind::Tdc,
+            64,
+        );
+        fp.scatter(
+            Rect {
+                x: 10,
+                y: 10,
+                w: 30,
+                h: 30,
+            },
+            CellKind::BenignLogic,
+            200,
+            3,
+        );
+        assert!(
+            fp.density(CellKind::Tdc) > 3.0 * fp.density(CellKind::BenignLogic),
+            "tdc density {} vs benign {}",
+            fp.density(CellKind::Tdc),
+            fp.density(CellKind::BenignLogic)
+        );
+        // spread still distinguishes direction: the scatter covers a
+        // larger area around its centroid per cell placed
+        assert!(fp.spread(CellKind::BenignLogic) > 0.0);
+        assert_eq!(fp.density(CellKind::Aes), 0.0);
+    }
+
+    #[test]
+    fn mark_sensitive_converts_cells() {
+        let mut fp = Floorplan::new(10, 10);
+        fp.scatter(
+            Rect {
+                x: 0,
+                y: 0,
+                w: 10,
+                h: 10,
+            },
+            CellKind::BenignLogic,
+            50,
+            4,
+        );
+        let marked = fp.mark_sensitive(20, 5);
+        assert_eq!(marked, 20);
+        assert_eq!(fp.count(CellKind::SensitiveEndpoint), 20);
+        assert_eq!(fp.count(CellKind::BenignLogic), 30);
+        // asking for more than available clamps
+        assert_eq!(fp.mark_sensitive(100, 6), 30);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let mut fp = Floorplan::new(6, 3);
+        fp.column(
+            Rect {
+                x: 0,
+                y: 0,
+                w: 1,
+                h: 3,
+            },
+            CellKind::Tdc,
+            3,
+        );
+        let art = fp.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4); // 3 rows + legend
+        assert!(lines[0].starts_with('T'));
+        assert!(lines[3].contains("legend"));
+    }
+
+    #[test]
+    fn ppm_render_shape_and_colors() {
+        let mut fp = Floorplan::new(4, 2);
+        fp.column(
+            Rect { x: 0, y: 0, w: 1, h: 2 },
+            CellKind::Tdc,
+            2,
+        );
+        let ppm = fp.render_ppm(2);
+        let header = b"P6\n8 4\n255\n";
+        assert_eq!(&ppm[..header.len()], header);
+        assert_eq!(ppm.len(), header.len() + 3 * 8 * 4);
+        // first pixel is TDC green
+        let px = &ppm[header.len()..header.len() + 3];
+        assert_eq!(px, &[60, 180, 80]);
+        // scale clamps to at least 1
+        assert!(fp.render_ppm(0).len() > 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "region too small")]
+    fn overfull_region_panics() {
+        let mut fp = Floorplan::new(3, 3);
+        fp.scatter(
+            Rect {
+                x: 0,
+                y: 0,
+                w: 2,
+                h: 2,
+            },
+            CellKind::Aes,
+            5,
+            1,
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The complete Fig. 2 dataflow: workstation ↔ UART ↔ FPGA.
+//!
+//! [`RemoteSession`] runs the fabric behind the framed UART transport
+//! exactly as the paper's setup does: the host sends a plaintext frame;
+//! the device encrypts while the sensors sample, buffers the capture in
+//! BRAM, and returns a frame with the ciphertext and the recorded
+//! trace. The host-side accessor decodes it back into a
+//! [`CaptureRecord`]. Attacks driven through this path exercise every
+//! transport component (framing, checksums, BRAM capacity) and account
+//! for wire time.
+
+use crate::bram::BramCapture;
+use crate::error::FabricError;
+use crate::scenario::{CaptureRecord, FabricConfig, MultiTenantFabric};
+use crate::uart::{UartFrame, UartLink};
+use slm_sensors::SensorSample;
+use std::ops::Range;
+
+/// A workstation-to-FPGA attack session over the UART.
+#[derive(Debug, Clone)]
+pub struct RemoteSession {
+    fabric: MultiTenantFabric,
+    link: UartLink,
+    bram: BramCapture,
+    window: Range<usize>,
+    endpoints: Vec<usize>,
+}
+
+impl RemoteSession {
+    /// Builds the fabric and transport. `endpoints` selects which benign
+    /// endpoints the device firmware packs into each trace frame (empty
+    /// = TDC only), and the capture window defaults to the final-round
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric construction failures.
+    pub fn new(config: &FabricConfig, endpoints: Vec<usize>) -> Result<Self, FabricError> {
+        let fabric = MultiTenantFabric::new(config)?;
+        let window = fabric.last_round_window();
+        Ok(RemoteSession {
+            fabric,
+            link: UartLink::new(921_600),
+            bram: BramCapture::single_bram36(),
+            window,
+            endpoints,
+        })
+    }
+
+    /// The underlying fabric (ground-truth access for evaluation).
+    pub fn fabric(&self) -> &MultiTenantFabric {
+        &self.fabric
+    }
+
+    /// Seconds of UART wire time consumed so far — the real-world cost
+    /// of the campaign.
+    pub fn wire_time_s(&self) -> f64 {
+        self.link.elapsed_s()
+    }
+
+    /// One full host-side round trip: send a plaintext, receive the
+    /// ciphertext and windowed capture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and capture errors.
+    pub fn host_encrypt(&mut self, plaintext: [u8; 16]) -> Result<CaptureRecord, FabricError> {
+        self.link.host_send(&UartFrame::new(plaintext.to_vec()));
+        self.device_service()?;
+        let frame = self
+            .link
+            .host_recv()?
+            .ok_or_else(|| FabricError::Transport("no response frame".into()))?;
+        Self::decode_response(&frame, self.endpoints.len())
+    }
+
+    /// The device firmware loop body: read a plaintext frame, run the
+    /// encryption with capture, stage the result through BRAM, send the
+    /// response frame.
+    fn device_service(&mut self) -> Result<(), FabricError> {
+        let Some(frame) = self.link.fpga_recv()? else {
+            return Err(FabricError::Transport("no request frame".into()));
+        };
+        if frame.payload.len() != 16 {
+            return Err(FabricError::Transport(format!(
+                "plaintext frame must be 16 bytes, got {}",
+                frame.payload.len()
+            )));
+        }
+        let mut pt = [0u8; 16];
+        pt.copy_from_slice(&frame.payload);
+        let rec = self
+            .fabric
+            .encrypt_windowed(pt, self.window.clone(), &self.endpoints);
+
+        // Stage through BRAM exactly as the on-chip design would: the
+        // capture is serialized to 64-bit words, written, then drained
+        // for transmission.
+        let mut words: Vec<u64> = Vec::new();
+        for (s, &tdc) in rec.benign.iter().zip(&rec.tdc) {
+            words.push(u64::from(tdc));
+            words.extend_from_slice(&s.bits);
+        }
+        self.bram.push(&words)?;
+        let staged = self.bram.drain();
+
+        // Response payload: ct | n_samples u8 | words_per_sample u8 | staged words LE
+        let mut payload = Vec::with_capacity(16 + 2 + staged.len() * 8);
+        payload.extend_from_slice(&rec.ciphertext);
+        payload.push(rec.benign.len() as u8);
+        let words_per_sample = 1 + self.endpoints.len().div_ceil(64);
+        payload.push(words_per_sample as u8);
+        for w in staged {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        self.link.fpga_send(&UartFrame::new(payload));
+        Ok(())
+    }
+
+    fn decode_response(
+        frame: &UartFrame,
+        endpoint_count: usize,
+    ) -> Result<CaptureRecord, FabricError> {
+        let p = &frame.payload;
+        if p.len() < 18 {
+            return Err(FabricError::Transport("short response frame".into()));
+        }
+        let mut ciphertext = [0u8; 16];
+        ciphertext.copy_from_slice(&p[..16]);
+        let n_samples = usize::from(p[16]);
+        let words_per_sample = usize::from(p[17]);
+        let expected = 18 + n_samples * words_per_sample * 8;
+        if p.len() != expected {
+            return Err(FabricError::Transport(format!(
+                "response length {} != expected {expected}",
+                p.len()
+            )));
+        }
+        let mut benign = Vec::with_capacity(n_samples);
+        let mut tdc = Vec::with_capacity(n_samples);
+        let mut off = 18;
+        for _ in 0..n_samples {
+            let w = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+            tdc.push(w as u32);
+            off += 8;
+            let mut bits = Vec::with_capacity(words_per_sample - 1);
+            for _ in 0..words_per_sample - 1 {
+                bits.push(u64::from_le_bytes(
+                    p[off..off + 8].try_into().expect("8 bytes"),
+                ));
+                off += 8;
+            }
+            benign.push(SensorSample {
+                bits,
+                len: endpoint_count,
+            });
+        }
+        Ok(CaptureRecord {
+            ciphertext,
+            benign,
+            tdc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::BenignCircuit;
+    use slm_aes::soft;
+
+    fn session(endpoints: Vec<usize>) -> RemoteSession {
+        let config = FabricConfig {
+            benign: BenignCircuit::DualC6288,
+            ..FabricConfig::default()
+        };
+        RemoteSession::new(&config, endpoints).unwrap()
+    }
+
+    #[test]
+    fn remote_capture_equals_local_capture() {
+        let endpoints: Vec<usize> = (0..16).collect();
+        let mut remote = session(endpoints.clone());
+        let config = FabricConfig {
+            benign: BenignCircuit::DualC6288,
+            ..FabricConfig::default()
+        };
+        let mut local = MultiTenantFabric::new(&config).unwrap();
+        let window = local.last_round_window();
+        let pt = [0x3c; 16];
+        let via_uart = remote.host_encrypt(pt).unwrap();
+        let direct = local.encrypt_windowed(pt, window, &endpoints);
+        assert_eq!(via_uart.ciphertext, direct.ciphertext);
+        assert_eq!(via_uart.tdc, direct.tdc);
+        assert_eq!(via_uart.benign.len(), direct.benign.len());
+        for (a, b) in via_uart.benign.iter().zip(&direct.benign) {
+            assert_eq!(a.bits, b.bits);
+            assert_eq!(a.len, b.len);
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_correct_over_the_wire() {
+        let mut remote = session(vec![]);
+        let key = remote.fabric().config().aes_key;
+        for i in 0..4u8 {
+            let pt = [i.wrapping_mul(31); 16];
+            let rec = remote.host_encrypt(pt).unwrap();
+            assert_eq!(rec.ciphertext, soft::encrypt(&key, &pt));
+        }
+    }
+
+    #[test]
+    fn wire_time_accumulates() {
+        let mut remote = session((0..8).collect());
+        assert_eq!(remote.wire_time_s(), 0.0);
+        let _ = remote.host_encrypt([1; 16]).unwrap();
+        let t1 = remote.wire_time_s();
+        assert!(t1 > 0.0);
+        let _ = remote.host_encrypt([2; 16]).unwrap();
+        assert!(remote.wire_time_s() > 1.9 * t1, "each trace costs wire time");
+    }
+}

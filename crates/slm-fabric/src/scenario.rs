@@ -1,0 +1,572 @@
+//! The multi-tenant electrical co-simulation.
+
+use crate::circuit::BenignCircuit;
+use crate::error::FabricError;
+use serde::{Deserialize, Serialize};
+use slm_aes::{Aes32Rtl, LeakageModel};
+use slm_pdn::noise::Rng64;
+use slm_pdn::{MultiRegionPdn, PdnConfig};
+use slm_sensors::{BenignSensor, BenignSensorConfig, RoArray, SensorSample, TdcConfig, TdcSensor};
+use slm_timing::{simulate_transition, DelayModel};
+
+/// Full configuration of the experimental setup (the paper's Fig. 2).
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Which benign circuit the attacker tenant hosts.
+    pub benign: BenignCircuit,
+    /// The victim's AES-128 key.
+    pub aes_key: [u8; 16],
+    /// Shared-PDN electrical parameters.
+    pub pdn: PdnConfig,
+    /// AES datapath leakage parameters.
+    pub leakage: LeakageModel,
+    /// Benign-sensor operating point (overclock, skew, jitter).
+    pub sensor: BenignSensorConfig,
+    /// Reference TDC sensor configuration.
+    pub tdc: TdcConfig,
+    /// Gate/routing delay model for the benign circuit.
+    pub delay_model: DelayModel,
+    /// Period the benign circuit was *constrained* to, ns (paper: 20 ns
+    /// = 50 MHz). Used by the strict-timing checker story.
+    pub synth_period_ns: f64,
+    /// Critical-path delay the mapper actually achieved, ns. Synthesis
+    /// beats its constraint: a carry chain packed into CARRY4-style
+    /// primitives lands near 5 ns, not at the 20 ns budget — which is
+    /// why a 300 MHz overclock probes the *middle* of the chain and
+    /// every few-picosecond delay step is a distinct endpoint threshold.
+    pub achieved_critical_ns: f64,
+    /// The RO fluctuation-generator array.
+    pub ro: RoArray,
+    /// Optional active-fence countermeasure.
+    pub fence: Option<FenceConfig>,
+    /// Whether the victim AES core uses a first-order-masked datapath
+    /// (the "masking" countermeasure of the side-channel literature the
+    /// paper cites). Ciphertexts are unchanged; first-order CPA fails.
+    pub masked_aes: bool,
+    /// Electrical coupling between the victim's PDN region and the
+    /// attacker's (1.0 = same region, as the paper's single-die setup;
+    /// lower values model greater placement distance between tenants,
+    /// the sensitivity Glamočanin et al. measured on cloud FPGAs).
+    pub victim_coupling: f64,
+    /// Static current of the rest of the design, amps.
+    pub background_current_a: f64,
+    /// Master seed (plaintext generation and housekeeping noise).
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            benign: BenignCircuit::Alu192,
+            aes_key: [
+                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+                0xcf, 0x4f, 0x3c,
+            ],
+            pdn: PdnConfig::default(),
+            leakage: LeakageModel::default(),
+            sensor: BenignSensorConfig::overclocked_300mhz(0xa11ce),
+            tdc: TdcConfig::paper_150mhz(0x7dc0),
+            delay_model: DelayModel::default(),
+            synth_period_ns: 20.0,
+            achieved_critical_ns: 5.2,
+            ro: RoArray::paper_8000(),
+            fence: None,
+            masked_aes: false,
+            victim_coupling: 1.0,
+            background_current_a: 0.25,
+            seed: 0x5ca1ab1e,
+        }
+    }
+}
+
+/// An *active fence* countermeasure (Krautter et al., ICCAD 2019): a
+/// defender-controlled noise generator that draws randomized current to
+/// mask the victim's signature on the shared PDN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FenceConfig {
+    /// Peak fence current, amps; each tick draws uniformly in
+    /// `[0, peak]`.
+    pub peak_current_a: f64,
+    /// Noise-stream seed.
+    pub seed: u64,
+}
+
+impl FenceConfig {
+    /// A fence sized to swamp the default AES leakage (its current swing
+    /// is an order of magnitude above the per-bit signal).
+    pub fn strong() -> Self {
+        FenceConfig {
+            peak_current_a: 1.5,
+            seed: 0xfe9ce,
+        }
+    }
+}
+
+/// On/off schedule of the RO array, in 300 MHz ticks.
+///
+/// Within each period the enabled fraction ramps linearly from 0 to 1
+/// over `ramp_ticks`, holds at 1 for `hold_ticks`, then switches off
+/// instantly — "gradually enabled and suddenly disabled" (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoSchedule {
+    /// Full period, ticks.
+    pub period_ticks: u64,
+    /// Linear enable ramp, ticks.
+    pub ramp_ticks: u64,
+    /// Full-on hold after the ramp, ticks.
+    pub hold_ticks: u64,
+    /// Ticks before the first period starts (array disabled).
+    pub lead_in_ticks: u64,
+}
+
+impl RoSchedule {
+    /// The paper's 4 MHz gating at a 300 MHz tick (75-tick period), with
+    /// a 40-sample lead-in so plots show the quiet baseline first.
+    pub fn paper_4mhz() -> Self {
+        RoSchedule {
+            period_ticks: 75,
+            ramp_ticks: 50,
+            hold_ticks: 15,
+            lead_in_ticks: 80,
+        }
+    }
+
+    /// Enabled fraction at a given tick.
+    pub fn fraction_at(&self, tick: u64) -> f64 {
+        if tick < self.lead_in_ticks {
+            return 0.0;
+        }
+        let phase = (tick - self.lead_in_ticks) % self.period_ticks;
+        if phase < self.ramp_ticks {
+            (phase as f64 + 1.0) / self.ramp_ticks as f64
+        } else if phase < self.ramp_ticks + self.hold_ticks {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What the AES tenant does during an activity run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AesActivity {
+    /// Victim idle (constant background only).
+    Idle,
+    /// Victim encrypts random blocks back to back.
+    Continuous,
+}
+
+/// Captured record of one encryption (ciphertext plus synchronized
+/// sensor streams), as the BRAM + UART path would deliver it to the
+/// workstation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaptureRecord {
+    /// The ciphertext returned to the workstation.
+    pub ciphertext: [u8; 16],
+    /// Benign-sensor captures, one per measure edge (150 MS/s effective).
+    pub benign: Vec<SensorSample>,
+    /// TDC thermometer depths on the same edges.
+    pub tdc: Vec<u32>,
+}
+
+/// A free-running activity capture (no per-trace alignment), used by the
+/// preliminary RO/AES influence experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityTrace {
+    /// Benign-sensor captures per measure edge.
+    pub benign: Vec<SensorSample>,
+    /// TDC depths per measure edge.
+    pub tdc: Vec<u32>,
+    /// True supply voltage at each measure edge (simulation ground
+    /// truth, not attacker-visible).
+    pub voltage: Vec<f64>,
+    /// Enabled RO count at each measure edge.
+    pub ro_enabled: Vec<usize>,
+}
+
+/// The living fabric: all tenants sharing one PDN, stepped on the
+/// 300 MHz sensor clock (one tick = 3.33 ns; the 100 MHz AES core
+/// advances every 3 ticks; sensors capture every 2nd tick, giving the
+/// paper's 150 MS/s effective rate).
+#[derive(Debug, Clone)]
+pub struct MultiTenantFabric {
+    config: FabricConfig,
+    aes: Aes32Rtl,
+    sensor: BenignSensor,
+    tdc: TdcSensor,
+    /// Two coupled regions: 0 = attacker (sensors, ROs, background),
+    /// 1 = victim (AES).
+    pdn: MultiRegionPdn,
+    ro: RoArray,
+    rng: Rng64,
+    fence_rng: Option<Rng64>,
+    /// Measure-sample index within a capture for each AES cycle.
+    dt_s: f64,
+    lead_in_cycles: usize,
+    benign_activity_current_a: f64,
+}
+
+impl MultiTenantFabric {
+    /// Ticks per AES (100 MHz) cycle at the 300 MHz base tick.
+    const TICKS_PER_AES_CYCLE: usize = 3;
+    /// Idle AES cycles simulated before an encryption starts.
+    const LEAD_IN_CYCLES: usize = 2;
+    /// Idle AES cycles simulated after an encryption completes.
+    const LEAD_OUT_CYCLES: usize = 2;
+
+    /// Builds the fabric: generates the benign circuit, calibrates its
+    /// delays for the synthesis clock, simulates its reset→measure
+    /// waveforms once, and wires every tenant to the shared PDN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit generation and timing analysis failures.
+    pub fn new(config: &FabricConfig) -> Result<Self, FabricError> {
+        let built = config.benign.build()?;
+        let ann = config.delay_model.annotate_for_period(
+            &built.netlist,
+            config.achieved_critical_ns,
+            1.0,
+        )?;
+        let waves = simulate_transition(&ann, &built.reset, &built.measure)?;
+        // The benign circuit's own switching draws a roughly constant
+        // current every measure cycle, proportional to its activity.
+        let benign_activity_current_a = 1.0e-6 * waves.total_transitions() as f64;
+        let sensor = BenignSensor::new(waves.into_output_waves(), config.sensor);
+        Ok(MultiTenantFabric {
+            aes: Aes32Rtl::new(config.aes_key),
+            sensor,
+            tdc: TdcSensor::new(config.tdc),
+            pdn: MultiRegionPdn::new(
+                config.pdn,
+                2,
+                vec![
+                    vec![1.0, config.victim_coupling],
+                    vec![config.victim_coupling, 1.0],
+                ],
+            ),
+            ro: config.ro,
+            rng: Rng64::new(config.seed),
+            fence_rng: config.fence.map(|f| Rng64::new(f.seed)),
+            dt_s: 1.0 / 300.0e6,
+            lead_in_cycles: Self::LEAD_IN_CYCLES,
+            benign_activity_current_a,
+            config: config.clone(),
+        })
+    }
+
+    /// The configuration the fabric was built with.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Number of benign-sensor endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.sensor.len()
+    }
+
+    /// Immutable access to the benign sensor (for threshold analysis).
+    pub fn sensor(&self) -> &BenignSensor {
+        &self.sensor
+    }
+
+    /// The victim's AES core (test access to ground truth).
+    pub fn aes(&self) -> &Aes32Rtl {
+        &self.aes
+    }
+
+    /// Number of measure-edge samples captured per encryption.
+    pub fn samples_per_encryption(&self) -> usize {
+        let cycles = self.lead_in_cycles + Aes32Rtl::CYCLES_PER_BLOCK + Self::LEAD_OUT_CYCLES;
+        cycles * Self::TICKS_PER_AES_CYCLE / 2
+    }
+
+    /// The measure-sample indices during which AES cycle `c` is active —
+    /// where the leakage of that cycle lands in the capture.
+    pub fn samples_for_aes_cycle(&self, c: usize) -> std::ops::Range<usize> {
+        let first_tick = (self.lead_in_cycles + c) * Self::TICKS_PER_AES_CYCLE;
+        let last_tick = first_tick + Self::TICKS_PER_AES_CYCLE;
+        // measure edges happen on odd ticks (tick % 2 == 1): sample k is
+        // tick 2k+1.
+        let first = first_tick / 2;
+        let last = last_tick.div_ceil(2);
+        first..last
+    }
+
+    /// The sample window covering the AES final round — the "relevant
+    /// bits for the CPA" the paper's host script stores separately.
+    pub fn last_round_window(&self) -> std::ops::Range<usize> {
+        let first = self
+            .samples_for_aes_cycle(Aes32Rtl::last_round_cycle_for_byte(0))
+            .start;
+        let last = self
+            .samples_for_aes_cycle(Aes32Rtl::last_round_cycle_for_byte(15))
+            .end;
+        first..last
+    }
+
+    /// Per-region currents: `[attacker, victim]`.
+    fn region_currents(&mut self, aes_cycle_current: f64) -> [f64; 2] {
+        let fence = match (&mut self.fence_rng, &self.config.fence) {
+            (Some(rng), Some(cfg)) => rng.uniform() * cfg.peak_current_a,
+            _ => 0.0,
+        };
+        let attacker = self.config.background_current_a
+            + self.ro.current_a()
+            + self.benign_activity_current_a
+            + fence;
+        [attacker, aes_cycle_current]
+    }
+
+    /// Steps the shared PDN one tick; returns the attacker-region
+    /// voltage (what the sensors see).
+    fn step_pdn(&mut self, aes_cycle_current: f64) -> f64 {
+        let currents = self.region_currents(aes_cycle_current);
+        let dt = self.dt_s;
+        self.pdn.step(&currents, dt)[0]
+    }
+
+    /// Runs one encryption while capturing every sensor on each measure
+    /// edge.
+    pub fn encrypt_and_capture(&mut self, plaintext: [u8; 16]) -> CaptureRecord {
+        self.encrypt_internal(plaintext, None, None)
+    }
+
+    /// Runs one encryption capturing only the measure edges in
+    /// `window` (sample indices) and only the listed benign endpoints —
+    /// the fast path for large CPA campaigns.
+    pub fn encrypt_windowed(
+        &mut self,
+        plaintext: [u8; 16],
+        window: std::ops::Range<usize>,
+        endpoints: &[usize],
+    ) -> CaptureRecord {
+        self.encrypt_internal(plaintext, Some(window), Some(endpoints))
+    }
+
+    fn encrypt_internal(
+        &mut self,
+        plaintext: [u8; 16],
+        window: Option<std::ops::Range<usize>>,
+        endpoints: Option<&[usize]>,
+    ) -> CaptureRecord {
+        let (ciphertext, power) = if self.config.masked_aes {
+            self.aes
+                .encrypt_with_power_masked(plaintext, &self.config.leakage, &mut self.rng)
+        } else {
+            self.aes
+                .encrypt_with_power(plaintext, &self.config.leakage, &mut self.rng)
+        };
+        let total_cycles = self.lead_in_cycles + power.len() + Self::LEAD_OUT_CYCLES;
+        let mut benign = Vec::new();
+        let mut tdc = Vec::new();
+        let mut sample_idx = 0usize;
+        for c in 0..total_cycles {
+            let aes_i = if c >= self.lead_in_cycles && c - self.lead_in_cycles < power.len() {
+                power[c - self.lead_in_cycles]
+            } else {
+                self.config.leakage.idle_a
+            };
+            for t in 0..Self::TICKS_PER_AES_CYCLE {
+                let v = self.step_pdn(aes_i);
+                let tick = c * Self::TICKS_PER_AES_CYCLE + t;
+                if tick % 2 == 1 {
+                    let in_window = window.as_ref().is_none_or(|w| w.contains(&sample_idx));
+                    if in_window {
+                        benign.push(match endpoints {
+                            Some(e) => self.sensor.sample_endpoints(v, e),
+                            None => self.sensor.sample(v),
+                        });
+                        tdc.push(self.tdc.sample(v));
+                    }
+                    sample_idx += 1;
+                }
+            }
+        }
+        CaptureRecord {
+            ciphertext,
+            benign,
+            tdc,
+        }
+    }
+
+    /// Free-runs the fabric for `samples` measure edges with the given
+    /// RO schedule and AES activity — the preliminary experiments of
+    /// Figs. 5–8 and 14–16.
+    pub fn run_activity(
+        &mut self,
+        schedule: Option<&RoSchedule>,
+        aes: AesActivity,
+        samples: usize,
+    ) -> ActivityTrace {
+        let mut out = ActivityTrace {
+            benign: Vec::with_capacity(samples),
+            tdc: Vec::with_capacity(samples),
+            voltage: Vec::with_capacity(samples),
+            ro_enabled: Vec::with_capacity(samples),
+        };
+        let mut aes_power: Vec<f64> = Vec::new();
+        let mut aes_cycle = 0usize;
+        let mut tick = 0u64;
+        while out.benign.len() < samples {
+            // Advance AES state on cycle boundaries.
+            let aes_i = match aes {
+                AesActivity::Idle => self.config.leakage.idle_a,
+                AesActivity::Continuous => {
+                    if tick % Self::TICKS_PER_AES_CYCLE as u64 == 0 {
+                        if aes_cycle >= aes_power.len() {
+                            let mut pt = [0u8; 16];
+                            self.rng.fill_bytes(&mut pt);
+                            let leakage = self.config.leakage;
+                            let (_, p) = if self.config.masked_aes {
+                                self.aes
+                                    .encrypt_with_power_masked(pt, &leakage, &mut self.rng)
+                            } else {
+                                self.aes.encrypt_with_power(pt, &leakage, &mut self.rng)
+                            };
+                            aes_power = p;
+                            aes_cycle = 0;
+                        }
+                        aes_cycle += 1;
+                    }
+                    aes_power
+                        .get(aes_cycle.saturating_sub(1))
+                        .copied()
+                        .unwrap_or(self.config.leakage.idle_a)
+                }
+            };
+            if let Some(s) = schedule {
+                self.ro.set_enabled_fraction(s.fraction_at(tick));
+            }
+            let v = self.step_pdn(aes_i);
+            if tick % 2 == 1 {
+                out.benign.push(self.sensor.sample(v));
+                out.tdc.push(self.tdc.sample(v));
+                out.voltage.push(v);
+                out.ro_enabled.push(self.ro.enabled());
+            }
+            tick += 1;
+        }
+        out
+    }
+
+    /// Generates a random plaintext from the fabric's seed stream.
+    pub fn random_plaintext(&mut self) -> [u8; 16] {
+        let mut pt = [0u8; 16];
+        self.rng.fill_bytes(&mut pt);
+        pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slm_aes::soft;
+
+    fn small_config() -> FabricConfig {
+        FabricConfig {
+            benign: BenignCircuit::DualC6288,
+            ..FabricConfig::default()
+        }
+    }
+
+    #[test]
+    fn ciphertext_is_correct() {
+        let config = small_config();
+        let mut fabric = MultiTenantFabric::new(&config).unwrap();
+        let pt = [0x11; 16];
+        let rec = fabric.encrypt_and_capture(pt);
+        assert_eq!(rec.ciphertext, soft::encrypt(&config.aes_key, &pt));
+    }
+
+    #[test]
+    fn capture_counts_line_up() {
+        let mut fabric = MultiTenantFabric::new(&small_config()).unwrap();
+        let rec = fabric.encrypt_and_capture([0; 16]);
+        assert_eq!(rec.benign.len(), fabric.samples_per_encryption());
+        assert_eq!(rec.tdc.len(), rec.benign.len());
+        // 2 + 41 + 2 cycles × 3 ticks / 2 = 67 samples
+        assert_eq!(rec.benign.len(), 67);
+        assert_eq!(rec.benign[0].len, 64);
+    }
+
+    #[test]
+    fn windowed_capture_restricts() {
+        let mut fabric = MultiTenantFabric::new(&small_config()).unwrap();
+        let window = fabric.last_round_window();
+        let width = window.len();
+        let rec = fabric.encrypt_windowed([0; 16], window, &[3, 7, 28]);
+        assert_eq!(rec.benign.len(), width);
+        assert_eq!(rec.benign[0].len, 3);
+    }
+
+    #[test]
+    fn last_round_window_covers_final_cycles() {
+        let fabric = MultiTenantFabric::new(&small_config()).unwrap();
+        let w = fabric.last_round_window();
+        // final round = cycles 37..41 of 41, with 2 lead-in cycles:
+        // ticks 117..129 → samples 58..65
+        assert_eq!(w, 58..65);
+        assert!(w.end <= fabric.samples_per_encryption());
+    }
+
+    #[test]
+    fn ro_schedule_shape() {
+        let s = RoSchedule::paper_4mhz();
+        assert_eq!(s.fraction_at(0), 0.0);
+        assert_eq!(s.fraction_at(79), 0.0); // lead-in
+        assert!(s.fraction_at(100) > 0.0 && s.fraction_at(100) < 1.0);
+        assert_eq!(s.fraction_at(80 + 60), 1.0); // hold phase
+        assert_eq!(s.fraction_at(80 + 74), 0.0); // off phase
+        // periodicity
+        assert_eq!(s.fraction_at(100), s.fraction_at(100 + 75));
+    }
+
+    #[test]
+    fn activity_run_sees_ro_droop() {
+        let mut fabric = MultiTenantFabric::new(&small_config()).unwrap();
+        let schedule = RoSchedule::paper_4mhz();
+        let trace = fabric.run_activity(Some(&schedule), AesActivity::Idle, 120);
+        assert_eq!(trace.voltage.len(), 120);
+        let quiet_v = trace.voltage[..30].iter().sum::<f64>() / 30.0;
+        let vmin = trace.voltage.iter().copied().fold(f64::MAX, f64::min);
+        assert!(
+            quiet_v - vmin > 0.010,
+            "RO burst should droop ≥ 10 mV: quiet {quiet_v}, min {vmin}"
+        );
+        // TDC must dip during the droop.
+        let tdc_min = *trace.tdc.iter().min().unwrap();
+        let tdc_start = trace.tdc[..30].iter().copied().min().unwrap();
+        assert!(tdc_min < tdc_start.saturating_sub(3));
+    }
+
+    #[test]
+    fn continuous_aes_produces_fluctuation() {
+        let mut fabric = MultiTenantFabric::new(&small_config()).unwrap();
+        let trace = fabric.run_activity(None, AesActivity::Continuous, 300);
+        let mean = trace.voltage.iter().sum::<f64>() / trace.voltage.len() as f64;
+        let var = trace
+            .voltage
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>()
+            / trace.voltage.len() as f64;
+        assert!(var.sqrt() > 1e-5, "AES activity must modulate the rail");
+    }
+
+    #[test]
+    fn alu_fabric_has_193_endpoints() {
+        let fabric = MultiTenantFabric::new(&FabricConfig::default()).unwrap();
+        assert_eq!(fabric.endpoints(), 193);
+    }
+
+    #[test]
+    fn deterministic_capture() {
+        let config = small_config();
+        let mut f1 = MultiTenantFabric::new(&config).unwrap();
+        let mut f2 = MultiTenantFabric::new(&config).unwrap();
+        let r1 = f1.encrypt_and_capture([5; 16]);
+        let r2 = f2.encrypt_and_capture([5; 16]);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Framed UART transport between the FPGA and the workstation.
+
+use crate::error::FabricError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One framed message: `0xA5 | len (u16 LE) | payload | checksum`.
+///
+/// The checksum is the XOR of all payload bytes. This mirrors the
+/// "simple UART TX and RX" of the paper's setup (Fig. 2): plaintexts go
+/// down to the AES and benign circuit; ciphertexts and recorded sums
+/// come back.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UartFrame {
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UartFrame {
+    const SYNC: u8 = 0xa5;
+
+    /// Creates a frame.
+    pub fn new(payload: Vec<u8>) -> Self {
+        UartFrame { payload }
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 4);
+        out.push(Self::SYNC);
+        out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.push(self.payload.iter().fold(0u8, |a, &b| a ^ b));
+        out
+    }
+
+    /// Parses one frame from the start of `bytes`, returning the frame
+    /// and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::Transport`] for bad sync, truncation, or checksum
+    /// mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<(UartFrame, usize), FabricError> {
+        if bytes.len() < 4 {
+            return Err(FabricError::Transport("truncated header".into()));
+        }
+        if bytes[0] != Self::SYNC {
+            return Err(FabricError::Transport(format!(
+                "bad sync byte {:#04x}",
+                bytes[0]
+            )));
+        }
+        let len = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
+        let total = 3 + len + 1;
+        if bytes.len() < total {
+            return Err(FabricError::Transport("truncated payload".into()));
+        }
+        let payload = bytes[3..3 + len].to_vec();
+        let expect = payload.iter().fold(0u8, |a, &b| a ^ b);
+        let got = bytes[3 + len];
+        if expect != got {
+            return Err(FabricError::Transport(format!(
+                "checksum mismatch: expected {expect:#04x}, got {got:#04x}"
+            )));
+        }
+        Ok((UartFrame { payload }, total))
+    }
+}
+
+/// A bidirectional byte link with a finite baud rate.
+#[derive(Debug, Clone)]
+pub struct UartLink {
+    baud: u64,
+    to_fpga: VecDeque<u8>,
+    to_host: VecDeque<u8>,
+    bytes_moved: u64,
+}
+
+impl UartLink {
+    /// Creates a link at the given baud rate (10 bits per byte on the
+    /// wire: start + 8 data + stop).
+    pub fn new(baud: u64) -> Self {
+        UartLink {
+            baud,
+            to_fpga: VecDeque::new(),
+            to_host: VecDeque::new(),
+            bytes_moved: 0,
+        }
+    }
+
+    /// Queues a frame from the host to the FPGA.
+    pub fn host_send(&mut self, frame: &UartFrame) {
+        self.to_fpga.extend(frame.encode());
+    }
+
+    /// Queues a frame from the FPGA to the host.
+    pub fn fpga_send(&mut self, frame: &UartFrame) {
+        self.to_host.extend(frame.encode());
+    }
+
+    /// Receives the next complete frame on the FPGA side, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures (the malformed bytes are discarded).
+    pub fn fpga_recv(&mut self) -> Result<Option<UartFrame>, FabricError> {
+        Self::recv(&mut self.to_fpga, &mut self.bytes_moved)
+    }
+
+    /// Receives the next complete frame on the host side, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures (the malformed bytes are discarded).
+    pub fn host_recv(&mut self) -> Result<Option<UartFrame>, FabricError> {
+        Self::recv(&mut self.to_host, &mut self.bytes_moved)
+    }
+
+    fn recv(
+        queue: &mut VecDeque<u8>,
+        moved: &mut u64,
+    ) -> Result<Option<UartFrame>, FabricError> {
+        if queue.len() < 4 {
+            return Ok(None);
+        }
+        let bytes: Vec<u8> = queue.iter().copied().collect();
+        match UartFrame::decode(&bytes) {
+            Ok((frame, used)) => {
+                queue.drain(..used);
+                *moved += used as u64;
+                Ok(Some(frame))
+            }
+            Err(FabricError::Transport(msg)) if msg.starts_with("truncated") => Ok(None),
+            Err(e) => {
+                queue.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Seconds of wire time consumed so far (for throughput estimates —
+    /// the reason capturing 500 k traces takes hours on real hardware).
+    pub fn elapsed_s(&self) -> f64 {
+        (self.bytes_moved * 10) as f64 / self.baud as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = UartFrame::new(vec![1, 2, 3, 0xff]);
+        let wire = f.encode();
+        let (g, used) = UartFrame::decode(&wire).unwrap();
+        assert_eq!(g, f);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let f = UartFrame::new(vec![]);
+        let (g, _) = UartFrame::decode(&f.encode()).unwrap();
+        assert!(g.payload.is_empty());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut wire = UartFrame::new(vec![9, 8, 7]).encode();
+        wire[4] ^= 0x10;
+        assert!(matches!(
+            UartFrame::decode(&wire),
+            Err(FabricError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn bad_sync_rejected() {
+        let mut wire = UartFrame::new(vec![1]).encode();
+        wire[0] = 0x00;
+        assert!(UartFrame::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn link_roundtrip_and_partial_delivery() {
+        let mut link = UartLink::new(115_200);
+        assert!(link.host_recv().unwrap().is_none());
+        link.host_send(&UartFrame::new(vec![0x42; 16]));
+        let got = link.fpga_recv().unwrap().unwrap();
+        assert_eq!(got.payload, vec![0x42; 16]);
+        assert!(link.fpga_recv().unwrap().is_none());
+        link.fpga_send(&UartFrame::new(vec![7]));
+        assert_eq!(link.host_recv().unwrap().unwrap().payload, vec![7]);
+        assert!(link.elapsed_s() > 0.0);
+    }
+
+    #[test]
+    fn trace_campaign_wire_time_is_hours() {
+        // 500k traces × (16B pt down + (16B ct + 64B trace) up) at 115200
+        // baud: the reason the paper's capture campaigns are slow.
+        let bytes_per_trace = (16 + 16 + 64) as f64;
+        let s = 500_000.0 * bytes_per_trace * 10.0 / 115_200.0;
+        assert!(s > 3600.0, "wire time {s} s should exceed an hour");
+    }
+}

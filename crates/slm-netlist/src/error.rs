@@ -1,0 +1,106 @@
+//! Error type for netlist construction, simulation and I/O.
+
+use crate::gate::{GateKind, NetId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, simulating, or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate references a net that does not exist.
+    UnknownNet(NetId),
+    /// A named signal was referenced but never defined.
+    UnknownName(String),
+    /// A gate was created with an invalid number of fanins for its kind.
+    BadArity {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// The number of fanins supplied.
+        got: usize,
+    },
+    /// The gate graph contains a combinational cycle and cannot be
+    /// topologically ordered or simulated.
+    CombinationalCycle {
+        /// One net known to participate in the cycle.
+        witness: NetId,
+    },
+    /// The number of supplied input values does not match the number of
+    /// primary inputs.
+    InputCountMismatch {
+        /// Primary inputs of the netlist.
+        expected: usize,
+        /// Values supplied by the caller.
+        got: usize,
+    },
+    /// A duplicate signal name was declared.
+    DuplicateName(String),
+    /// A `.bench` file could not be parsed.
+    BenchSyntax {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An output declaration references an undefined signal.
+    UndrivenOutput(String),
+    /// A generator was asked for a degenerate size (for example a 0-bit
+    /// adder).
+    BadGeneratorParameter(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNet(id) => write!(f, "unknown net {id}"),
+            NetlistError::UnknownName(name) => write!(f, "unknown signal name `{name}`"),
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} fanin(s)")
+            }
+            NetlistError::CombinationalCycle { witness } => {
+                write!(f, "combinational cycle through {witness}")
+            }
+            NetlistError::InputCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+            NetlistError::BenchSyntax { line, message } => {
+                write!(f, "bench syntax error on line {line}: {message}")
+            }
+            NetlistError::UndrivenOutput(name) => {
+                write!(f, "output `{name}` is never driven")
+            }
+            NetlistError::BadGeneratorParameter(msg) => {
+                write!(f, "bad generator parameter: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::BadArity {
+            kind: GateKind::Not,
+            got: 3,
+        };
+        assert!(e.to_string().contains("NOT"));
+        assert!(e.to_string().contains('3'));
+        let e = NetlistError::BenchSyntax {
+            line: 12,
+            message: "missing `)`".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: Error>(_e: E) {}
+        takes_err(NetlistError::UnknownNet(NetId(0)));
+    }
+}

@@ -1,0 +1,127 @@
+//! Ripple-carry adder generators.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::NetId;
+use crate::netlist::Netlist;
+
+/// Builds one full adder; returns `(sum, carry_out)`.
+pub(crate) fn full_adder(b: &mut NetlistBuilder, a: NetId, x: NetId, cin: NetId) -> (NetId, NetId) {
+    let axb = b.xor2(a, x);
+    let sum = b.xor2(axb, cin);
+    let t0 = b.and2(a, x);
+    let t1 = b.and2(axb, cin);
+    let cout = b.or2(t0, t1);
+    (sum, cout)
+}
+
+/// Generates an `n`-bit ripple-carry adder.
+///
+/// Ports: inputs `a[0..n]`, `b[0..n]` (LSB first); outputs `sum[0..n]`
+/// and `cout`.
+///
+/// This is the carry chain the paper's Section III example sensitizes
+/// with `A = 2^n − 1`, `B = 1`: the carry ripples through every stage and
+/// every sum bit's settling time depends on supply voltage.
+///
+/// # Errors
+///
+/// [`NetlistError::BadGeneratorParameter`] when `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use slm_netlist::{generators, words};
+/// let nl = generators::ripple_carry_adder(16).unwrap();
+/// let mut ins = words::to_bits(12345, 16);
+/// ins.extend(words::to_bits(54321, 16));
+/// let out = nl.eval(&ins).unwrap();
+/// assert_eq!(words::from_bits(&out[..16]), (12345 + 54321) & 0xffff);
+/// ```
+pub fn ripple_carry_adder(n: usize) -> Result<Netlist, NetlistError> {
+    build(n, false)
+}
+
+/// Like [`ripple_carry_adder`] but with an explicit `cin` input (declared
+/// after the `b` bus).
+pub fn ripple_carry_adder_with_cin(n: usize) -> Result<Netlist, NetlistError> {
+    build(n, true)
+}
+
+fn build(n: usize, with_cin: bool) -> Result<Netlist, NetlistError> {
+    if n == 0 {
+        return Err(NetlistError::BadGeneratorParameter(
+            "adder width must be at least 1".into(),
+        ));
+    }
+    let mut b = NetlistBuilder::new(format!("rca{n}"));
+    let a_bus = b.input_bus("a", n);
+    let b_bus = b.input_bus("b", n);
+    let mut carry = if with_cin { b.input("cin") } else { b.const0() };
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, c) = full_adder(&mut b, a_bus[i], b_bus[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    b.output_bus("sum", &sums);
+    b.output("cout", carry);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+
+    fn add_via_netlist(nl: &Netlist, n: usize, a: u128, b: u128) -> (u128, bool) {
+        let mut ins = words::to_bits(a, n);
+        ins.extend(words::to_bits(b, n));
+        let out = nl.eval(&ins).unwrap();
+        (words::from_bits(&out[..n]), out[n])
+    }
+
+    #[test]
+    fn adds_exhaustively_4bit() {
+        let nl = ripple_carry_adder(4).unwrap();
+        for a in 0u128..16 {
+            for b in 0u128..16 {
+                let (s, c) = add_via_netlist(&nl, 4, a, b);
+                assert_eq!(s, (a + b) & 0xf);
+                assert_eq!(c, a + b > 0xf, "carry for {a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_chain_pattern() {
+        // The paper's stimulus: A = 2^n - 1, B = 1 → sum = 0, cout = 1.
+        let n = 64;
+        let nl = ripple_carry_adder(n).unwrap();
+        let (s, c) = add_via_netlist(&nl, n, (1u128 << n) - 1, 1);
+        assert_eq!(s, 0);
+        assert!(c);
+    }
+
+    #[test]
+    fn cin_variant() {
+        let nl = ripple_carry_adder_with_cin(8).unwrap();
+        let mut ins = words::to_bits(100, 8);
+        ins.extend(words::to_bits(27, 8));
+        ins.push(true);
+        let out = nl.eval(&ins).unwrap();
+        assert_eq!(words::from_bits(&out[..8]), 128);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(ripple_carry_adder(0).is_err());
+    }
+
+    #[test]
+    fn depth_grows_linearly() {
+        let d8 = ripple_carry_adder(8).unwrap().stats().unwrap().depth;
+        let d16 = ripple_carry_adder(16).unwrap().stats().unwrap().depth;
+        assert!(d16 > d8 + 4, "carry chain should dominate depth");
+    }
+}

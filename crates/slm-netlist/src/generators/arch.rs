@@ -1,0 +1,380 @@
+//! Alternative arithmetic architectures.
+//!
+//! The paper's discussion argues *any* sufficiently deep circuit can be
+//! misused; these generators provide the comparison set: adders with
+//! shorter/flatter critical paths (carry-lookahead, carry-select) and a
+//! Wallace-tree multiplier, so the reproduction can study how circuit
+//! architecture affects sensor quality (the `architecture_study`
+//! experiment and the ablation benches).
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::NetId;
+use crate::netlist::Netlist;
+
+use super::adder::full_adder;
+
+/// Generates an `n`-bit two-level carry-lookahead adder (4-bit groups,
+/// ripple between groups).
+///
+/// Ports: inputs `a[0..n]`, `b[0..n]`; outputs `sum[0..n]`, `cout`.
+/// Depth grows roughly `n/4`-fold slower than the ripple-carry adder —
+/// a *worse* sensor at a given overclock because fewer endpoints land
+/// near the capture edge.
+///
+/// # Errors
+///
+/// [`NetlistError::BadGeneratorParameter`] when `n == 0`.
+pub fn carry_lookahead_adder(n: usize) -> Result<Netlist, NetlistError> {
+    if n == 0 {
+        return Err(NetlistError::BadGeneratorParameter(
+            "adder width must be at least 1".into(),
+        ));
+    }
+    let mut bld = NetlistBuilder::new(format!("cla{n}"));
+    let a = bld.input_bus("a", n);
+    let b = bld.input_bus("b", n);
+    let mut carry = bld.const0();
+    let mut sums = Vec::with_capacity(n);
+    for group in (0..n).step_by(4) {
+        let hi = (group + 4).min(n);
+        // generate/propagate per bit
+        let g: Vec<NetId> = (group..hi).map(|i| bld.and2(a[i], b[i])).collect();
+        let p: Vec<NetId> = (group..hi).map(|i| bld.xor2(a[i], b[i])).collect();
+        // group-internal carries via lookahead:
+        // c1 = g0 | p0·c0 ; c2 = g1 | p1·g0 | p1·p0·c0 ; ...
+        let mut carries = vec![carry];
+        for k in 0..(hi - group) {
+            let mut terms: Vec<NetId> = vec![g[k]];
+            for j in (0..k).rev() {
+                // p[k]·p[k-1]·…·p[j+1]·g[j]
+                let mut t = g[j];
+                for pp in &p[j + 1..=k] {
+                    t = bld.and2(t, *pp);
+                }
+                terms.push(t);
+            }
+            // p[k]·…·p[0]·c_in
+            let mut t = carries[0];
+            for pp in &p[..=k] {
+                t = bld.and2(t, *pp);
+            }
+            terms.push(t);
+            let mut c = terms[0];
+            for &term in &terms[1..] {
+                c = bld.or2(c, term);
+            }
+            carries.push(c);
+        }
+        for k in 0..(hi - group) {
+            sums.push(bld.xor2(p[k], carries[k]));
+        }
+        carry = carries[hi - group];
+    }
+    bld.output_bus("sum", &sums);
+    bld.output("cout", carry);
+    bld.finish()
+}
+
+/// Generates an `n`-bit carry-select adder with 8-bit blocks: each block
+/// computes both carry cases in parallel and a mux picks the result.
+///
+/// Ports: inputs `a[0..n]`, `b[0..n]`; outputs `sum[0..n]`, `cout`.
+///
+/// # Errors
+///
+/// [`NetlistError::BadGeneratorParameter`] when `n == 0`.
+pub fn carry_select_adder(n: usize) -> Result<Netlist, NetlistError> {
+    if n == 0 {
+        return Err(NetlistError::BadGeneratorParameter(
+            "adder width must be at least 1".into(),
+        ));
+    }
+    let mut bld = NetlistBuilder::new(format!("csel{n}"));
+    let a = bld.input_bus("a", n);
+    let b = bld.input_bus("b", n);
+    let mut carry = bld.const0();
+    let mut sums = Vec::with_capacity(n);
+    for block in (0..n).step_by(8) {
+        let hi = (block + 8).min(n);
+        if block == 0 {
+            // first block: plain ripple
+            for i in block..hi {
+                let (s, c) = full_adder(&mut bld, a[i], b[i], carry);
+                sums.push(s);
+                carry = c;
+            }
+            continue;
+        }
+        // two speculative ripples, cin = 0 and cin = 1
+        let mut c0 = bld.const0();
+        let mut c1 = bld.const1();
+        let mut s0 = Vec::with_capacity(hi - block);
+        let mut s1 = Vec::with_capacity(hi - block);
+        for i in block..hi {
+            let (s, c) = full_adder(&mut bld, a[i], b[i], c0);
+            s0.push(s);
+            c0 = c;
+            let (s, c) = full_adder(&mut bld, a[i], b[i], c1);
+            s1.push(s);
+            c1 = c;
+        }
+        for k in 0..(hi - block) {
+            sums.push(bld.mux2(carry, s0[k], s1[k]));
+        }
+        carry = bld.mux2(carry, c0, c1);
+    }
+    bld.output_bus("sum", &sums);
+    bld.output("cout", carry);
+    bld.finish()
+}
+
+/// Generates an `n×n` Wallace-tree multiplier: 3:2 compression of the
+/// partial-product matrix, final ripple-carry merge.
+///
+/// Ports: inputs `a[0..n]`, `b[0..n]`; outputs `p[0..2n]`.
+///
+/// Logarithmic compression depth plus a final carry chain — a flatter
+/// arrival profile than the C6288-style array, concentrating endpoints
+/// near the (shorter) critical path.
+///
+/// # Errors
+///
+/// [`NetlistError::BadGeneratorParameter`] when `n < 2`.
+pub fn wallace_multiplier(n: usize) -> Result<Netlist, NetlistError> {
+    if n < 2 {
+        return Err(NetlistError::BadGeneratorParameter(
+            "multiplier width must be at least 2".into(),
+        ));
+    }
+    let mut bld = NetlistBuilder::new(format!("wallace{n}x{n}"));
+    let a = bld.input_bus("a", n);
+    let b = bld.input_bus("b", n);
+    // columns[w] = list of bits with weight w
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * n];
+    for (j, &bj) in b.iter().enumerate() {
+        for (i, &ai) in a.iter().enumerate() {
+            let pp = bld.and2(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    // 3:2 / 2:2 compression until every column has ≤ 2 bits
+    loop {
+        let max = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); 2 * n];
+        for w in 0..2 * n {
+            let col = &columns[w];
+            let mut k = 0;
+            while col.len() - k >= 3 {
+                let (s, c) = full_adder(&mut bld, col[k], col[k + 1], col[k + 2]);
+                next[w].push(s);
+                if w + 1 < 2 * n {
+                    next[w + 1].push(c);
+                }
+                k += 3;
+            }
+            if col.len() - k == 2 {
+                let s = bld.xor2(col[k], col[k + 1]);
+                let c = bld.and2(col[k], col[k + 1]);
+                next[w].push(s);
+                if w + 1 < 2 * n {
+                    next[w + 1].push(c);
+                }
+                k += 2;
+            }
+            if col.len() - k == 1 {
+                next[w].push(col[k]);
+            }
+        }
+        columns = next;
+    }
+    // final carry-propagate merge
+    let mut product = Vec::with_capacity(2 * n);
+    let mut carry = bld.const0();
+    for col in columns.iter() {
+        match col.len() {
+            0 => {
+                product.push(bld.buf(carry));
+                carry = bld.const0();
+            }
+            1 => {
+                let (s, c) = {
+                    let z = bld.const0();
+                    full_adder(&mut bld, col[0], z, carry)
+                };
+                product.push(s);
+                carry = c;
+            }
+            2 => {
+                let (s, c) = full_adder(&mut bld, col[0], col[1], carry);
+                product.push(s);
+                carry = c;
+            }
+            _ => unreachable!("compression leaves at most 2 bits per column"),
+        }
+    }
+    product.truncate(2 * n);
+    bld.output_bus("p", &product);
+    bld.finish()
+}
+
+/// Generates an `n`-bit Kogge–Stone adder: a parallel-prefix carry tree
+/// with `⌈log₂ n⌉` prefix levels.
+///
+/// Ports: inputs `a[0..n]`, `b[0..n]`; outputs `sum[0..n]`, `cout`.
+///
+/// The fastest classic adder topology — and therefore the *worst*
+/// benign sensor in the architecture study: its carry arrivals collapse
+/// into a logarithmic-depth cluster.
+///
+/// # Errors
+///
+/// [`NetlistError::BadGeneratorParameter`] when `n == 0`.
+pub fn kogge_stone_adder(n: usize) -> Result<Netlist, NetlistError> {
+    if n == 0 {
+        return Err(NetlistError::BadGeneratorParameter(
+            "adder width must be at least 1".into(),
+        ));
+    }
+    let mut bld = NetlistBuilder::new(format!("ks{n}"));
+    let a = bld.input_bus("a", n);
+    let b = bld.input_bus("b", n);
+    // level-0 generate/propagate
+    let mut g: Vec<NetId> = (0..n).map(|i| bld.and2(a[i], b[i])).collect();
+    let mut p: Vec<NetId> = (0..n).map(|i| bld.xor2(a[i], b[i])).collect();
+    let p0 = p.clone(); // sum needs the original propagate bits
+    // prefix levels: (g, p)[i] ∘ (g, p)[i - 2^k]
+    let mut dist = 1;
+    while dist < n {
+        let mut ng = g.clone();
+        let mut np = p.clone();
+        for i in dist..n {
+            // g' = g[i] | p[i]·g[i-d];  p' = p[i]·p[i-d]
+            let t = bld.and2(p[i], g[i - dist]);
+            ng[i] = bld.or2(g[i], t);
+            np[i] = bld.and2(p[i], p[i - dist]);
+        }
+        g = ng;
+        p = np;
+        dist *= 2;
+    }
+    // carries: c[0] = 0; c[i] = g[i-1] (prefix generate up to bit i-1)
+    let zero = bld.const0();
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let carry_in = if i == 0 { zero } else { g[i - 1] };
+        sums.push(bld.xor2(p0[i], carry_in));
+    }
+    bld.output_bus("sum", &sums);
+    bld.output("cout", g[n - 1]);
+    bld.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{array_multiplier, ripple_carry_adder};
+    use crate::words;
+
+    fn add(nl: &Netlist, n: usize, a: u128, b: u128) -> (u128, bool) {
+        let mut ins = words::to_bits(a, n);
+        ins.extend(words::to_bits(b, n));
+        let out = nl.eval(&ins).unwrap();
+        (words::from_bits(&out[..n]), out[n])
+    }
+
+    #[test]
+    fn cla_adds_exhaustively_6bit() {
+        let nl = carry_lookahead_adder(6).unwrap();
+        for a in 0u128..64 {
+            for b in 0u128..64 {
+                let (s, c) = add(&nl, 6, a, b);
+                assert_eq!(s, (a + b) & 0x3f, "{a}+{b}");
+                assert_eq!(c, a + b > 0x3f);
+            }
+        }
+    }
+
+    #[test]
+    fn csel_adds_spot_checks_24bit() {
+        let nl = carry_select_adder(24).unwrap();
+        for (a, b) in [
+            (0u128, 0u128),
+            (0xff_ffff, 1),
+            (0x123456, 0x654321),
+            (0x800000, 0x800000),
+            (0xaaaaaa, 0x555555),
+        ] {
+            let (s, c) = add(&nl, 24, a, b);
+            assert_eq!(s, (a + b) & 0xff_ffff, "{a:#x}+{b:#x}");
+            assert_eq!(c, a + b > 0xff_ffff);
+        }
+    }
+
+    #[test]
+    fn wallace_multiplies_exhaustively_4bit() {
+        let nl = wallace_multiplier(4).unwrap();
+        for a in 0u128..16 {
+            for b in 0u128..16 {
+                let mut ins = words::to_bits(a, 4);
+                ins.extend(words::to_bits(b, 4));
+                assert_eq!(words::from_bits(&nl.eval(&ins).unwrap()), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_16bit_spot_checks() {
+        let nl = wallace_multiplier(16).unwrap();
+        for (a, b) in [(0xffffu128, 0xffff), (12345, 54321), (256, 255)] {
+            let mut ins = words::to_bits(a, 16);
+            ins.extend(words::to_bits(b, 16));
+            assert_eq!(words::from_bits(&nl.eval(&ins).unwrap()), a * b);
+        }
+    }
+
+    #[test]
+    fn architectural_depth_ordering() {
+        // the property the sensor study depends on: rca ≫ csel ≥ cla
+        let rca = ripple_carry_adder(32).unwrap().stats().unwrap().depth;
+        let cla = carry_lookahead_adder(32).unwrap().stats().unwrap().depth;
+        let csel = carry_select_adder(32).unwrap().stats().unwrap().depth;
+        assert!(rca * 2 > cla * 3, "rca {rca} vs cla {cla}");
+        assert!(rca > csel, "rca {rca} vs csel {csel}");
+        let array = array_multiplier(16).unwrap().stats().unwrap().depth;
+        let wallace = wallace_multiplier(16).unwrap().stats().unwrap().depth;
+        assert!(array > wallace, "array {array} vs wallace {wallace}");
+    }
+
+    #[test]
+    fn kogge_stone_adds_exhaustively_6bit() {
+        let nl = kogge_stone_adder(6).unwrap();
+        for a in 0u128..64 {
+            for b in 0u128..64 {
+                let (s, c) = add(&nl, 6, a, b);
+                assert_eq!(s, (a + b) & 0x3f, "{a}+{b}");
+                assert_eq!(c, a + b > 0x3f);
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_logarithmic_depth() {
+        let ks = kogge_stone_adder(64).unwrap().stats().unwrap().depth;
+        let rca = ripple_carry_adder(64).unwrap().stats().unwrap().depth;
+        // prefix tree: ~log2(64) levels of (and+or) plus endpoints
+        assert!(ks <= 16, "ks depth = {ks}");
+        assert!(rca > 5 * ks, "rca {rca} vs ks {ks}");
+    }
+
+    #[test]
+    fn degenerate_widths_rejected() {
+        assert!(carry_lookahead_adder(0).is_err());
+        assert!(carry_select_adder(0).is_err());
+        assert!(wallace_multiplier(1).is_err());
+        assert!(kogge_stone_adder(0).is_err());
+    }
+}

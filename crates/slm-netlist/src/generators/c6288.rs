@@ -1,0 +1,150 @@
+//! ISCAS-85 C6288-style array multiplier generator.
+//!
+//! C6288 is a 16×16 combinational array multiplier (Hansen, Yalcin and
+//! Hayes, "Unveiling the ISCAS-85 benchmarks"). Structurally it is a
+//! matrix of 240 full adders and 16 half adders fed by a 256-cell AND
+//! partial-product matrix; the original gate mapping is NOR-dominated,
+//! but its defining timing property — a deep, triangular spread of path
+//! lengths across the 32 product outputs — comes from the adder array,
+//! which this generator reproduces as a row-cascaded carry-propagate
+//! array. The generated `c6288()` instance therefore exhibits the same
+//! "many endpoints with near-critical slack" behaviour the paper exploits
+//! in Section V-D.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+
+use super::adder::full_adder;
+
+/// Generates an `n×n` array multiplier.
+///
+/// Ports: inputs `a[0..n]`, `b[0..n]` (LSB first); outputs `p[0..2n]`.
+///
+/// # Errors
+///
+/// [`NetlistError::BadGeneratorParameter`] when `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use slm_netlist::{generators, words};
+/// let nl = generators::array_multiplier(8).unwrap();
+/// let mut ins = words::to_bits(25, 8);
+/// ins.extend(words::to_bits(37, 8));
+/// let out = nl.eval(&ins).unwrap();
+/// assert_eq!(words::from_bits(&out), 25 * 37);
+/// ```
+pub fn array_multiplier(n: usize) -> Result<Netlist, NetlistError> {
+    if n < 2 {
+        return Err(NetlistError::BadGeneratorParameter(
+            "multiplier width must be at least 2".into(),
+        ));
+    }
+    let mut bld = NetlistBuilder::new(format!("mul{n}x{n}"));
+    let a = bld.input_bus("a", n);
+    let b = bld.input_bus("b", n);
+
+    // Partial-product matrix.
+    let mut pp = vec![Vec::with_capacity(n); n];
+    for (row, &bj) in pp.iter_mut().zip(&b) {
+        for &ai in a.iter() {
+            row.push(bld.and2(ai, bj));
+        }
+    }
+
+    // Row-cascaded accumulation: acc holds product bits above position j
+    // after absorbing row j. Row 0 seeds the accumulator.
+    let mut product = Vec::with_capacity(2 * n);
+    let mut acc: Vec<crate::NetId> = pp[0].clone();
+    product.push(acc.remove(0)); // p[0] = pp[0][0]
+    for row in pp.iter().take(n).skip(1) {
+        // acc (n-1 bits, weights j..j+n-1) + row j (n bits, weights j..j+n)
+        let mut carry = bld.const0();
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let acc_bit = if i < acc.len() { acc[i] } else { bld.const0() };
+            let (s, c) = full_adder(&mut bld, acc_bit, row[i], carry);
+            next.push(s);
+            carry = c;
+        }
+        next.push(carry);
+        product.push(next.remove(0)); // weight-j product bit settles
+        acc = next;
+    }
+    // Remaining accumulator bits are the high half of the product.
+    product.extend(acc);
+    debug_assert_eq!(product.len(), 2 * n);
+    bld.output_bus("p", &product);
+    bld.finish()
+}
+
+/// The ISCAS-85 C6288 configuration: a 16×16 multiplier with 32 product
+/// outputs.
+pub fn c6288() -> Result<Netlist, NetlistError> {
+    array_multiplier(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+
+    fn mul(nl: &Netlist, n: usize, a: u128, b: u128) -> u128 {
+        let mut ins = words::to_bits(a, n);
+        ins.extend(words::to_bits(b, n));
+        words::from_bits(&nl.eval(&ins).unwrap())
+    }
+
+    #[test]
+    fn multiplies_exhaustively_4bit() {
+        let nl = array_multiplier(4).unwrap();
+        for a in 0u128..16 {
+            for b in 0u128..16 {
+                assert_eq!(mul(&nl, 4, a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn c6288_shape() {
+        let nl = c6288().unwrap();
+        assert_eq!(nl.inputs().len(), 32);
+        assert_eq!(nl.outputs().len(), 32);
+        let stats = nl.stats().unwrap();
+        // The adder array dominates: 15 rows × 16 FAs × 5 gates plus the
+        // 256 partial products. Expect a four-digit gate count and a deep
+        // critical path, like the original benchmark.
+        assert!(stats.gates > 1200, "got {} gates", stats.gates);
+        assert!(stats.depth > 60, "got depth {}", stats.depth);
+    }
+
+    #[test]
+    fn c6288_spot_products() {
+        let nl = c6288().unwrap();
+        for (a, b) in [(0u128, 0u128), (65535, 65535), (12345, 54321), (256, 255)] {
+            assert_eq!(mul(&nl, 16, a, b), a * b);
+        }
+    }
+
+    #[test]
+    fn output_depths_are_triangular() {
+        let nl = c6288().unwrap();
+        let prof = nl.depth_profile().unwrap();
+        let lv = &prof.output_levels;
+        // Low product bits settle early; middle/high bits are deep.
+        assert!(lv[0] <= 2);
+        assert!(lv[20] > lv[2]);
+        let max = *lv.iter().max().unwrap();
+        // Many outputs near-critical (within 30% of max depth) — the
+        // property that makes half the endpoints usable as sensors.
+        let near = lv.iter().filter(|&&d| d * 10 >= max * 7).count();
+        assert!(near >= 8, "only {near} near-critical outputs");
+    }
+
+    #[test]
+    fn degenerate_width_rejected() {
+        assert!(array_multiplier(0).is_err());
+        assert!(array_multiplier(1).is_err());
+    }
+}

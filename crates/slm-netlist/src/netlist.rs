@@ -1,0 +1,477 @@
+//! The [`Netlist`] container and functional simulation.
+
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateKind, NetId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A combinational gate-level netlist.
+///
+/// Each gate drives exactly one net, identified by [`NetId`]. Primary
+/// inputs are gates of kind [`GateKind::Input`]; primary outputs are a
+/// named list of nets. Construct with [`crate::NetlistBuilder`], the
+/// [`crate::bench`] parser, or one of the [`crate::generators`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(String, NetId)>,
+    net_names: Vec<Option<String>>,
+    name_map: HashMap<String, NetId>,
+    /// Cached topological order; `None` when the graph is cyclic.
+    topo: Option<Vec<NetId>>,
+}
+
+impl Netlist {
+    /// Assembles a netlist from raw parts, computing the topological order.
+    ///
+    /// Cyclic graphs are accepted (so structural checkers can inspect
+    /// them), but simulation of a cyclic netlist returns
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn from_parts(
+        name: impl Into<String>,
+        gates: Vec<Gate>,
+        inputs: Vec<NetId>,
+        outputs: Vec<(String, NetId)>,
+        net_names: Vec<Option<String>>,
+    ) -> Result<Self, NetlistError> {
+        let n = gates.len();
+        for (i, g) in gates.iter().enumerate() {
+            let (lo, hi) = g.kind.arity();
+            if g.fanin.len() < lo || g.fanin.len() > hi {
+                return Err(NetlistError::BadArity {
+                    kind: g.kind,
+                    got: g.fanin.len(),
+                });
+            }
+            for &f in &g.fanin {
+                if f.index() >= n {
+                    return Err(NetlistError::UnknownNet(f));
+                }
+            }
+            debug_assert!(i < n);
+        }
+        for &(_, o) in &outputs {
+            if o.index() >= n {
+                return Err(NetlistError::UnknownNet(o));
+            }
+        }
+        let mut name_map = HashMap::new();
+        let mut padded_names = net_names;
+        padded_names.resize(n, None);
+        for (i, nm) in padded_names.iter().enumerate() {
+            if let Some(nm) = nm {
+                if name_map.insert(nm.clone(), NetId(i as u32)).is_some() {
+                    return Err(NetlistError::DuplicateName(nm.clone()));
+                }
+            }
+        }
+        let mut nl = Netlist {
+            name: name.into(),
+            gates,
+            inputs,
+            outputs,
+            net_names: padded_names,
+            name_map,
+            topo: None,
+        };
+        nl.topo = nl.compute_topological_order().ok();
+        Ok(nl)
+    }
+
+    /// The netlist's name (for example `"c6288"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates, indexed by [`NetId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving `id`.
+    pub fn gate(&self, id: NetId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Number of gates (equivalently, nets).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the netlist contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(name, net)` pairs in declaration order.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Net ids of the primary outputs in declaration order.
+    pub fn output_nets(&self) -> Vec<NetId> {
+        self.outputs.iter().map(|&(_, id)| id).collect()
+    }
+
+    /// The name attached to a net, if any.
+    pub fn net_name(&self, id: NetId) -> Option<&str> {
+        self.net_names.get(id.index()).and_then(|n| n.as_deref())
+    }
+
+    /// Finds a net by name.
+    pub fn find(&self, name: &str) -> Option<NetId> {
+        self.name_map.get(name).copied()
+    }
+
+    /// Whether the gate graph is free of combinational cycles.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo.is_some()
+    }
+
+    /// A topological order of all nets (fanins before fanouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the graph is cyclic.
+    pub fn topological_order(&self) -> Result<&[NetId], NetlistError> {
+        match &self.topo {
+            Some(order) => Ok(order),
+            None => {
+                // Recompute to produce a witness for the error message.
+                match self.compute_topological_order() {
+                    Ok(_) => unreachable!("cached topo missing for acyclic graph"),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    fn compute_topological_order(&self) -> Result<Vec<NetId>, NetlistError> {
+        let n = self.gates.len();
+        let mut indegree = vec![0u32; n];
+        // Repeated fanins are counted repeatedly and decremented repeatedly,
+        // which balances out.
+        // fanout adjacency in CSR form
+
+        let mut fanout_start = vec![0u32; n + 1];
+        for g in &self.gates {
+            for &f in &g.fanin {
+                fanout_start[f.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            fanout_start[i + 1] += fanout_start[i];
+        }
+        let total_edges = fanout_start[n] as usize;
+        let mut fanout = vec![0u32; total_edges];
+        let mut cursor = fanout_start.clone();
+        for (gi, g) in self.gates.iter().enumerate() {
+            indegree[gi] = g.fanin.len() as u32;
+            for &f in &g.fanin {
+                fanout[cursor[f.index()] as usize] = gi as u32;
+                cursor[f.index()] += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(NetId(u));
+            let s = fanout_start[u as usize] as usize;
+            let e = fanout_start[u as usize + 1] as usize;
+            for &v in &fanout[s..e] {
+                indegree[v as usize] -= 1;
+                if indegree[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let witness = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| NetId(i as u32))
+                .expect("cycle implies a node with positive indegree");
+            return Err(NetlistError::CombinationalCycle { witness });
+        }
+        Ok(order)
+    }
+
+    /// Fanout lists for every net.
+    pub fn fanouts(&self) -> Vec<Vec<NetId>> {
+        let mut out = vec![Vec::new(); self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &f in &g.fanin {
+                out[f.index()].push(NetId(gi as u32));
+            }
+        }
+        out
+    }
+
+    /// Evaluates all nets for one input pattern.
+    ///
+    /// `inputs` must match [`Netlist::inputs`] in length and order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InputCountMismatch`] or
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn eval_all(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(NetlistError::InputCountMismatch {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let order = self.topological_order()?;
+        let mut values = vec![false; self.gates.len()];
+        for (&pi, &v) in self.inputs.iter().zip(inputs) {
+            values[pi.index()] = v;
+        }
+        let mut fanin_buf: Vec<bool> = Vec::with_capacity(8);
+        for &id in order {
+            let g = &self.gates[id.index()];
+            if g.kind == GateKind::Input {
+                continue;
+            }
+            fanin_buf.clear();
+            fanin_buf.extend(g.fanin.iter().map(|f| values[f.index()]));
+            values[id.index()] = g.kind.eval(&fanin_buf);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the primary outputs for one input pattern.
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.eval_all(inputs)?;
+        Ok(self.outputs.iter().map(|&(_, id)| values[id.index()]).collect())
+    }
+
+    /// Evaluates all nets for 64 patterns at once (bit `k` of each word is
+    /// pattern `k`).
+    pub fn eval_all_parallel(&self, inputs: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(NetlistError::InputCountMismatch {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let order = self.topological_order()?;
+        let mut values = vec![0u64; self.gates.len()];
+        for (&pi, &v) in self.inputs.iter().zip(inputs) {
+            values[pi.index()] = v;
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in order {
+            let g = &self.gates[id.index()];
+            if g.kind == GateKind::Input {
+                continue;
+            }
+            fanin_buf.clear();
+            fanin_buf.extend(g.fanin.iter().map(|f| values[f.index()]));
+            values[id.index()] = g.kind.eval_word(&fanin_buf);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the primary outputs for 64 patterns at once.
+    pub fn eval_parallel(&self, inputs: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        let values = self.eval_all_parallel(inputs)?;
+        Ok(self.outputs.iter().map(|&(_, id)| values[id.index()]).collect())
+    }
+
+    /// Places several netlists side by side in one netlist, with no
+    /// shared nets: instance `i`'s signal `x` becomes `u{i}_x`, and its
+    /// inputs/outputs are appended in instance order.
+    ///
+    /// This models independent circuit copies in one partial-bitstream
+    /// region — e.g. the paper's "two parallel ISCAS-85 C6288 circuits".
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (none are expected for well-formed
+    /// parts).
+    pub fn disjoint_union(
+        name: impl Into<String>,
+        parts: &[&Netlist],
+    ) -> Result<Netlist, NetlistError> {
+        let mut gates = Vec::new();
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut net_names = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            let base = gates.len() as u32;
+            for g in part.gates() {
+                let fanin = g.fanin.iter().map(|f| NetId(f.0 + base)).collect();
+                gates.push(Gate::new(g.kind, fanin));
+            }
+            for k in 0..part.len() {
+                net_names.push(
+                    part.net_name(NetId(k as u32))
+                        .map(|n| format!("u{i}_{n}")),
+                );
+            }
+            inputs.extend(part.inputs().iter().map(|&p| NetId(p.0 + base)));
+            outputs.extend(
+                part.outputs()
+                    .iter()
+                    .map(|(n, o)| (format!("u{i}_{n}"), NetId(o.0 + base))),
+            );
+        }
+        Netlist::from_parts(name, gates, inputs, outputs, net_names)
+    }
+
+    /// The transitive fanin cone of a net, as a sorted list of net ids.
+    pub fn fanin_cone(&self, root: NetId) -> Vec<NetId> {
+        let mut seen = vec![false; self.gates.len()];
+        let mut stack = vec![root];
+        let mut cone = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            cone.push(id);
+            for &f in &self.gates[id.index()].fanin {
+                stack.push(f);
+            }
+        }
+        cone.sort();
+        cone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn xor_tree() -> Netlist {
+        let mut b = NetlistBuilder::new("xt");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let x = b.gate(GateKind::Xor, &[a, c]);
+        let y = b.gate(GateKind::Xor, &[x, d]);
+        b.output("y", y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn eval_xor_tree() {
+        let nl = xor_tree();
+        for p in 0..8u32 {
+            let ins = [(p & 1) != 0, (p & 2) != 0, (p & 4) != 0];
+            let out = nl.eval(&ins).unwrap();
+            assert_eq!(out[0], ins[0] ^ ins[1] ^ ins[2]);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_scalar() {
+        let nl = xor_tree();
+        // Pack 8 exhaustive patterns into word bits 0..8.
+        let mut ins = [0u64; 3];
+        for p in 0..8u64 {
+            for (i, w) in ins.iter_mut().enumerate() {
+                if p & (1 << i) != 0 {
+                    *w |= 1 << p;
+                }
+            }
+        }
+        let out = nl.eval_parallel(&ins).unwrap();
+        for p in 0..8u64 {
+            let scalar = nl
+                .eval(&[(p & 1) != 0, (p & 2) != 0, (p & 4) != 0])
+                .unwrap();
+            assert_eq!((out[0] >> p) & 1 == 1, scalar[0], "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn input_count_mismatch() {
+        let nl = xor_tree();
+        let err = nl.eval(&[true]).unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::InputCountMismatch { expected: 3, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn cyclic_netlist_detected() {
+        // Build a 2-gate loop by hand: g0 = NAND(g1, g1); g1 = NAND(g0, g0)
+        let gates = vec![
+            Gate::new(GateKind::Nand, vec![NetId(1), NetId(1)]),
+            Gate::new(GateKind::Nand, vec![NetId(0), NetId(0)]),
+        ];
+        let nl = Netlist::from_parts("loop", gates, vec![], vec![], vec![]).unwrap();
+        assert!(!nl.is_acyclic());
+        assert!(matches!(
+            nl.topological_order().unwrap_err(),
+            NetlistError::CombinationalCycle { .. }
+        ));
+        assert!(nl.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn fanin_cone_and_fanouts() {
+        let nl = xor_tree();
+        let y = nl.outputs()[0].1;
+        let cone = nl.fanin_cone(y);
+        assert_eq!(cone.len(), nl.len()); // everything feeds y
+        let fo = nl.fanouts();
+        let a = nl.inputs()[0];
+        assert_eq!(fo[a.index()].len(), 1);
+    }
+
+    #[test]
+    fn disjoint_union_two_instances() {
+        let a = crate::generators::ripple_carry_adder(4).unwrap();
+        let both = Netlist::disjoint_union("dual", &[&a, &a]).unwrap();
+        assert_eq!(both.inputs().len(), 16);
+        assert_eq!(both.outputs().len(), 10);
+        assert_eq!(both.len(), 2 * a.len());
+        assert!(both.find("u0_a[0]").is_some());
+        assert!(both.find("u1_a[0]").is_some());
+        // instance 0 adds 3+2, instance 1 adds 7+8
+        let mut ins = crate::words::to_bits(3, 4);
+        ins.extend(crate::words::to_bits(2, 4));
+        ins.extend(crate::words::to_bits(7, 4));
+        ins.extend(crate::words::to_bits(8, 4));
+        let out = both.eval(&ins).unwrap();
+        assert_eq!(crate::words::from_bits(&out[..4]), 5);
+        assert_eq!(crate::words::from_bits(&out[5..9]), 15);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let gates = vec![Gate::new(GateKind::Input, vec![]), Gate::new(GateKind::Input, vec![])];
+        let err = Netlist::from_parts(
+            "dup",
+            gates,
+            vec![NetId(0), NetId(1)],
+            vec![],
+            vec![Some("x".into()), Some("x".into())],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn bad_fanin_reference_rejected() {
+        let gates = vec![Gate::new(GateKind::Not, vec![NetId(5)])];
+        assert!(matches!(
+            Netlist::from_parts("bad", gates, vec![], vec![], vec![]),
+            Err(NetlistError::UnknownNet(NetId(5)))
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Helpers for packing integer operands into per-bit boolean input vectors.
+//!
+//! Circuit generators declare buses least-significant-bit first; these
+//! helpers convert between `u128`/bit-slices and the flat `&[bool]` input
+//! layout that [`crate::Netlist::eval`] expects.
+
+/// Expands the low `width` bits of `value` into booleans, LSB first.
+///
+/// ```
+/// let bits = slm_netlist::words::to_bits(0b1011, 4);
+/// assert_eq!(bits, vec![true, true, false, true]);
+/// ```
+pub fn to_bits(value: u128, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Packs booleans (LSB first) back into an integer.
+///
+/// Bits beyond 128 are ignored.
+///
+/// ```
+/// let v = slm_netlist::words::from_bits(&[true, true, false, true]);
+/// assert_eq!(v, 0b1011);
+/// ```
+pub fn from_bits(bits: &[bool]) -> u128 {
+    bits.iter()
+        .take(128)
+        .enumerate()
+        .fold(0u128, |acc, (i, &b)| acc | (u128::from(b) << i))
+}
+
+/// Expands big integers represented as little-endian 64-bit limbs into
+/// booleans, LSB first, `width` bits total.
+pub fn limbs_to_bits(limbs: &[u64], width: usize) -> Vec<bool> {
+    (0..width)
+        .map(|i| {
+            let limb = i / 64;
+            let bit = i % 64;
+            limbs.get(limb).is_some_and(|&l| (l >> bit) & 1 == 1)
+        })
+        .collect()
+}
+
+/// Packs booleans (LSB first) into little-endian 64-bit limbs.
+pub fn bits_to_limbs(bits: &[bool]) -> Vec<u64> {
+    let mut limbs = vec![0u64; bits.len().div_ceil(64)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            limbs[i / 64] |= 1 << (i % 64);
+        }
+    }
+    limbs
+}
+
+/// Counts set bits across a boolean slice (Hamming weight).
+pub fn hamming_weight(bits: &[bool]) -> u32 {
+    bits.iter().map(|&b| u32::from(b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u128() {
+        for v in [0u128, 1, 0xdead_beef, u128::MAX >> 1] {
+            assert_eq!(from_bits(&to_bits(v, 128)), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_limbs() {
+        let limbs = vec![0xdead_beef_0bad_f00d, 0x0123_4567_89ab_cdef, 0xffff];
+        let bits = limbs_to_bits(&limbs, 192);
+        assert_eq!(bits.len(), 192);
+        assert_eq!(bits_to_limbs(&bits), limbs);
+    }
+
+    #[test]
+    fn limbs_width_truncates_and_pads() {
+        let bits = limbs_to_bits(&[u64::MAX], 66);
+        assert_eq!(bits.len(), 66);
+        assert!(bits[63]);
+        assert!(!bits[64]); // missing limb reads as zero
+    }
+
+    #[test]
+    fn hamming() {
+        assert_eq!(hamming_weight(&to_bits(0xff, 16)), 8);
+        assert_eq!(hamming_weight(&[]), 0);
+    }
+}

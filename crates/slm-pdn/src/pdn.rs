@@ -1,0 +1,283 @@
+//! Single- and multi-region PDN models.
+
+use crate::filter::SecondOrderFilter;
+use crate::noise::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of a PDN region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PdnConfig {
+    /// Nominal supply voltage, volts.
+    pub v_nominal: f64,
+    /// Bulk supply resistance, ohms: the slow (resonant) droop component
+    /// settles to `r_eff · I`.
+    pub r_eff: f64,
+    /// Wideband (local) supply impedance, ohms: an instantaneous
+    /// `r_fast · I` drop that passes cycle-rate current variation. This
+    /// is the path through which the victim's per-cycle Hamming activity
+    /// reaches on-die sensors; without it the package resonance would
+    /// low-pass the side channel away.
+    pub r_fast: f64,
+    /// Natural frequency of the die/package resonance, Hz.
+    pub f_natural_hz: f64,
+    /// Damping ratio (< 1: underdamped, overshoots on load release).
+    pub zeta: f64,
+    /// Standard deviation of wideband supply noise, volts.
+    pub noise_sigma_v: f64,
+    /// Seed for the noise stream.
+    pub seed: u64,
+}
+
+impl Default for PdnConfig {
+    fn default() -> Self {
+        PdnConfig {
+            v_nominal: 1.0,
+            r_eff: 0.008,
+            r_fast: 0.012,
+            f_natural_hz: 5.0e6,
+            zeta: 0.3,
+            noise_sigma_v: 0.4e-3,
+            seed: 0x9d4_1234,
+        }
+    }
+}
+
+/// One shared supply: total current in, observed voltage out.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Pdn {
+    config: PdnConfig,
+    filter: SecondOrderFilter,
+    rng: Rng64,
+    last_v: f64,
+}
+
+impl Pdn {
+    /// Creates a PDN at nominal voltage.
+    pub fn new(config: PdnConfig) -> Self {
+        Pdn {
+            filter: SecondOrderFilter::new(config.f_natural_hz, config.zeta),
+            rng: Rng64::new(config.seed),
+            last_v: config.v_nominal,
+            config,
+        }
+    }
+
+    /// The configuration this PDN was built with.
+    pub fn config(&self) -> &PdnConfig {
+        &self.config
+    }
+
+    /// Advances the PDN by `dt` seconds while `current_a` amps are drawn,
+    /// returning the observed supply voltage.
+    #[inline]
+    pub fn step(&mut self, current_a: f64, dt: f64) -> f64 {
+        let target_droop = self.config.r_eff * current_a;
+        let droop = self.filter.step(target_droop, dt);
+        self.last_v = self.config.v_nominal
+            - droop
+            - self.config.r_fast * current_a
+            + self.rng.normal_scaled(self.config.noise_sigma_v);
+        self.last_v
+    }
+
+    /// The most recently computed voltage.
+    pub fn voltage(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Resets the dynamic state (not the noise stream position).
+    pub fn reset(&mut self) {
+        self.filter.reset();
+        self.last_v = self.config.v_nominal;
+    }
+}
+
+/// Several PDN regions with cross-coupling.
+///
+/// Each region has its own second-order response to the current drawn
+/// *in that region*; the voltage observed at region `r` superimposes
+/// every region's droop weighted by `coupling[r][s]`. Diagonal entries
+/// are 1; off-diagonal entries below 1 model electrical distance between
+/// tenant placements (Glamočanin et al. observed exactly this
+/// sensitivity-vs-distance effect on cloud FPGAs).
+#[derive(Debug, Clone)]
+pub struct MultiRegionPdn {
+    config: PdnConfig,
+    filters: Vec<SecondOrderFilter>,
+    coupling: Vec<Vec<f64>>,
+    rng: Rng64,
+    voltages: Vec<f64>,
+    droop_scratch: Vec<f64>,
+}
+
+impl MultiRegionPdn {
+    /// Creates `regions` coupled regions with the given coupling matrix
+    /// (`coupling[r][s]` = effect of region `s`'s droop on region `r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `regions × regions`.
+    pub fn new(config: PdnConfig, regions: usize, coupling: Vec<Vec<f64>>) -> Self {
+        assert_eq!(coupling.len(), regions, "coupling rows");
+        for row in &coupling {
+            assert_eq!(row.len(), regions, "coupling columns");
+        }
+        MultiRegionPdn {
+            filters: vec![SecondOrderFilter::new(config.f_natural_hz, config.zeta); regions],
+            coupling,
+            rng: Rng64::new(config.seed),
+            voltages: vec![config.v_nominal; regions],
+            droop_scratch: vec![0.0; regions],
+            config,
+        }
+    }
+
+    /// Uniformly coupled regions (all off-diagonal entries `k`).
+    pub fn uniform(config: PdnConfig, regions: usize, k: f64) -> Self {
+        let coupling = (0..regions)
+            .map(|r| {
+                (0..regions)
+                    .map(|s| if r == s { 1.0 } else { k })
+                    .collect()
+            })
+            .collect();
+        Self::new(config, regions, coupling)
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Advances all regions by `dt` with per-region currents; returns the
+    /// observed per-region voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents_a.len()` differs from the region count.
+    pub fn step(&mut self, currents_a: &[f64], dt: f64) -> &[f64] {
+        assert_eq!(currents_a.len(), self.filters.len());
+        for ((d, f), &i) in self
+            .droop_scratch
+            .iter_mut()
+            .zip(&mut self.filters)
+            .zip(currents_a)
+        {
+            *d = f.step(self.config.r_eff * i, dt) + self.config.r_fast * i;
+        }
+        for (r, v) in self.voltages.iter_mut().enumerate() {
+            let mut total = 0.0;
+            for (s, &d) in self.droop_scratch.iter().enumerate() {
+                total += self.coupling[r][s] * d;
+            }
+            *v = self.config.v_nominal - total
+                + self.rng.normal_scaled(self.config.noise_sigma_v);
+        }
+        &self.voltages
+    }
+
+    /// The most recent voltage of one region.
+    pub fn voltage(&self, region: usize) -> f64 {
+        self.voltages[region]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 3.33e-9;
+
+    fn quiet(mut c: PdnConfig) -> PdnConfig {
+        c.noise_sigma_v = 0.0;
+        c
+    }
+
+    #[test]
+    fn steady_state_ir_drop() {
+        let cfg = quiet(PdnConfig::default());
+        let mut pdn = Pdn::new(cfg);
+        let mut v = 0.0;
+        for _ in 0..400_000 {
+            v = pdn.step(3.0, DT);
+        }
+        let expect = cfg.v_nominal - (cfg.r_eff + cfg.r_fast) * 3.0;
+        assert!((v - expect).abs() < 1e-4, "v = {v}, expect {expect}");
+    }
+
+    #[test]
+    fn droop_then_overshoot() {
+        let mut pdn = Pdn::new(quiet(PdnConfig::default()));
+        let mut vmin: f64 = 2.0;
+        for _ in 0..3_000 {
+            vmin = vmin.min(pdn.step(4.0, DT));
+        }
+        assert!(vmin < 1.0 - 0.04, "droop too small: {vmin}");
+        let mut vmax: f64 = 0.0;
+        for _ in 0..3_000 {
+            vmax = vmax.max(pdn.step(0.0, DT));
+        }
+        assert!(vmax > 1.0 + 0.01, "no overshoot: {vmax}");
+    }
+
+    #[test]
+    fn noise_present_when_configured() {
+        let mut pdn = Pdn::new(PdnConfig {
+            noise_sigma_v: 5e-3,
+            ..PdnConfig::default()
+        });
+        let vs: Vec<f64> = (0..100).map(|_| pdn.step(0.0, DT)).collect();
+        let mean = vs.iter().sum::<f64>() / vs.len() as f64;
+        let var = vs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vs.len() as f64;
+        assert!(var > 0.0);
+        assert!(var.sqrt() < 20e-3);
+    }
+
+    #[test]
+    fn reset_restores_nominal() {
+        let mut pdn = Pdn::new(quiet(PdnConfig::default()));
+        for _ in 0..1000 {
+            pdn.step(5.0, DT);
+        }
+        pdn.reset();
+        assert_eq!(pdn.voltage(), 1.0);
+    }
+
+    #[test]
+    fn coupled_region_sees_attenuated_droop() {
+        let cfg = quiet(PdnConfig::default());
+        let mut net = MultiRegionPdn::uniform(cfg, 2, 0.5);
+        let mut v = [0.0, 0.0];
+        for _ in 0..400_000 {
+            let vs = net.step(&[4.0, 0.0], DT);
+            v = [vs[0], vs[1]];
+        }
+        let droop0 = cfg.v_nominal - v[0];
+        let droop1 = cfg.v_nominal - v[1];
+        assert!(droop0 > 0.0);
+        assert!(
+            (droop1 / droop0 - 0.5).abs() < 0.02,
+            "coupling ratio = {}",
+            droop1 / droop0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling rows")]
+    fn bad_coupling_shape_panics() {
+        let _ = MultiRegionPdn::new(PdnConfig::default(), 2, vec![vec![1.0, 0.5]]);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = PdnConfig::default();
+        let mut a = Pdn::new(cfg);
+        let mut b = Pdn::new(cfg);
+        for i in 0..1000 {
+            let cur = (i % 7) as f64;
+            assert_eq!(a.step(cur, DT), b.step(cur, DT));
+        }
+    }
+}

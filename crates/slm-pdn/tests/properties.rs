@@ -1,0 +1,96 @@
+//! Property-based tests for the PDN substrate.
+
+use proptest::prelude::*;
+use slm_pdn::noise::Rng64;
+use slm_pdn::{MultiRegionPdn, Pdn, PdnConfig, SecondOrderFilter};
+
+const DT: f64 = 3.33e-9;
+
+fn quiet(seed: u64) -> PdnConfig {
+    PdnConfig {
+        noise_sigma_v: 0.0,
+        seed,
+        ..PdnConfig::default()
+    }
+}
+
+proptest! {
+    /// Bounded input ⇒ bounded output, for any underdamped-to-critically
+    /// damped configuration (integration stability).
+    #[test]
+    fn filter_stability(zeta in 0.05f64..1.5, f_mhz in 0.5f64..20.0, seed in any::<u64>()) {
+        let mut f = SecondOrderFilter::new(f_mhz * 1e6, zeta);
+        let mut rng = Rng64::new(seed);
+        let mut max_abs: f64 = 0.0;
+        for _ in 0..50_000 {
+            let u = rng.uniform_in(-1.0, 1.0);
+            max_abs = max_abs.max(f.step(u, DT).abs());
+        }
+        prop_assert!(max_abs.is_finite());
+        prop_assert!(max_abs < 50.0, "unstable: {max_abs}");
+    }
+
+    /// Steady-state voltage equals nominal minus total IR drop, for any
+    /// constant load.
+    #[test]
+    fn steady_state_ir_drop(current in 0.0f64..8.0, seed in any::<u64>()) {
+        let cfg = quiet(seed);
+        let mut pdn = Pdn::new(cfg);
+        let mut v = 0.0;
+        for _ in 0..400_000 {
+            v = pdn.step(current, DT);
+        }
+        let expect = cfg.v_nominal - (cfg.r_eff + cfg.r_fast) * current;
+        prop_assert!((v - expect).abs() < 2e-4, "v = {v}, expect {expect}");
+    }
+
+    /// More load ⇒ lower settled voltage (monotonicity).
+    #[test]
+    fn monotone_in_load(i1 in 0.0f64..4.0, delta in 0.1f64..4.0) {
+        let settle = |i: f64| {
+            let mut pdn = Pdn::new(quiet(1));
+            let mut v = 0.0;
+            for _ in 0..300_000 {
+                v = pdn.step(i, DT);
+            }
+            v
+        };
+        prop_assert!(settle(i1 + delta) < settle(i1));
+    }
+
+    /// Region symmetry: swapping the two regions' currents swaps their
+    /// voltages (with symmetric coupling and no noise).
+    #[test]
+    fn multi_region_symmetry(ia in 0.0f64..3.0, ib in 0.0f64..3.0, k in 0.0f64..1.0) {
+        let cfg = quiet(7);
+        let mut p1 = MultiRegionPdn::uniform(cfg, 2, k);
+        let mut p2 = MultiRegionPdn::uniform(cfg, 2, k);
+        let (mut va, mut vb) = (0.0, 0.0);
+        let (mut wa, mut wb) = (0.0, 0.0);
+        for _ in 0..200_000 {
+            let v = p1.step(&[ia, ib], DT);
+            va = v[0];
+            vb = v[1];
+            let w = p2.step(&[ib, ia], DT);
+            wa = w[0];
+            wb = w[1];
+        }
+        prop_assert!((va - wb).abs() < 1e-9, "{va} vs {wb}");
+        prop_assert!((vb - wa).abs() < 1e-9, "{vb} vs {wa}");
+    }
+
+    /// Coupling attenuates the neighbour's droop proportionally.
+    #[test]
+    fn coupling_scales_cross_droop(k in 0.1f64..0.9) {
+        let cfg = quiet(3);
+        let mut pdn = MultiRegionPdn::uniform(cfg, 2, k);
+        let mut v = [0.0, 0.0];
+        for _ in 0..400_000 {
+            let out = pdn.step(&[2.0, 0.0], DT);
+            v = [out[0], out[1]];
+        }
+        let own = cfg.v_nominal - v[0];
+        let cross = cfg.v_nominal - v[1];
+        prop_assert!((cross / own - k).abs() < 0.02, "ratio {}", cross / own);
+    }
+}

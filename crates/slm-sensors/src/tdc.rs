@@ -1,0 +1,171 @@
+//! Time-to-Digital Converter sensor model.
+
+use serde::{Deserialize, Serialize};
+use slm_pdn::noise::Rng64;
+use slm_timing::VoltageDelayLaw;
+
+/// Geometry and calibration of a TDC sensor.
+///
+/// A TDC launches the clock itself into a coarse delay (carry chains or
+/// LUTs) followed by a tapped fine delay line; registers after each tap
+/// capture how far the edge travelled within the sampling window. The
+/// observable is a thermometer code whose depth rises when gates are
+/// fast (high voltage) and falls when they are slow (droop) — the red
+/// curve of the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TdcConfig {
+    /// Number of observable taps (paper-style TDCs use 64).
+    pub stages: usize,
+    /// Fine tap pitch at nominal voltage, ps.
+    pub tap_ps: f64,
+    /// Calibrated coarse ("initial") delay at nominal voltage, ps.
+    pub coarse_ps: f64,
+    /// Sampling window, ps (one period of the sampling clock).
+    pub window_ps: f64,
+    /// RMS sampling jitter, ps.
+    pub jitter_ps: f64,
+    /// Voltage→delay law shared with the rest of the fabric.
+    pub law: VoltageDelayLaw,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl TdcConfig {
+    /// The paper's configuration: 64 taps sampled at 150 MHz, calibrated
+    /// so the idle output sits near tap 31 — matching Fig. 6, where the
+    /// idle TDC reads ≈ 30 and "bit 32 \[is\] close to the idle value".
+    pub fn paper_150mhz(seed: u64) -> Self {
+        let window_ps = 1e6 / 150.0; // 6666.7 ps
+        let tap_ps = 25.0;
+        let idle_target = 31.0;
+        TdcConfig {
+            stages: 64,
+            tap_ps,
+            coarse_ps: window_ps - idle_target * tap_ps,
+            window_ps,
+            jitter_ps: 3.0,
+            law: VoltageDelayLaw::default(),
+            seed,
+        }
+    }
+}
+
+impl Default for TdcConfig {
+    fn default() -> Self {
+        Self::paper_150mhz(0x7dc)
+    }
+}
+
+/// A TDC sensor instance with its private jitter stream.
+#[derive(Debug, Clone)]
+pub struct TdcSensor {
+    config: TdcConfig,
+    rng: Rng64,
+}
+
+impl TdcSensor {
+    /// Creates the sensor.
+    pub fn new(config: TdcConfig) -> Self {
+        TdcSensor {
+            rng: Rng64::new(config.seed),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TdcConfig {
+        &self.config
+    }
+
+    /// Samples the thermometer depth (0..=stages) at supply voltage `v`.
+    pub fn sample(&mut self, v: f64) -> u32 {
+        let s = self.config.law.scale(v);
+        let remaining =
+            self.config.window_ps - self.config.coarse_ps * s + self.rng.normal_scaled(self.config.jitter_ps);
+        let depth = (remaining / (self.config.tap_ps * s)).floor();
+        depth.clamp(0.0, self.config.stages as f64) as u32
+    }
+
+    /// Samples and expands into per-tap thermometer bits, LSB = tap 0.
+    pub fn sample_bits(&mut self, v: f64) -> u64 {
+        let depth = self.sample(v);
+        if depth >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << depth) - 1
+        }
+    }
+
+    /// Expected (noise-free) depth at voltage `v`.
+    pub fn expected_depth(&self, v: f64) -> f64 {
+        let s = self.config.law.scale(v);
+        ((self.config.window_ps - self.config.coarse_ps * s) / (self.config.tap_ps * s))
+            .clamp(0.0, self.config.stages as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> TdcSensor {
+        let mut c = TdcConfig::paper_150mhz(1);
+        c.jitter_ps = 0.0;
+        TdcSensor::new(c)
+    }
+
+    #[test]
+    fn idle_depth_near_31() {
+        let mut t = quiet();
+        let d = t.sample(1.0);
+        assert!((30..=32).contains(&d), "idle depth = {d}");
+    }
+
+    #[test]
+    fn droop_lowers_depth_overshoot_raises() {
+        let mut t = quiet();
+        let idle = t.sample(1.0);
+        let droop = t.sample(0.95);
+        let over = t.sample(1.04);
+        assert!(droop < idle, "droop {droop} !< idle {idle}");
+        assert!(over > idle, "overshoot {over} !> idle {idle}");
+    }
+
+    #[test]
+    fn paper_magnitude_deep_droop_reads_near_10() {
+        // Fig. 6: the 8000-RO droop takes the TDC from ~30 to ~10. In the
+        // calibrated model that corresponds to a droop of roughly 22 mV.
+        let t = quiet();
+        let d = t.expected_depth(0.975);
+        assert!((8.0..=22.0).contains(&d), "deep-droop depth = {d}");
+    }
+
+    #[test]
+    fn saturates_at_bounds() {
+        let mut t = quiet();
+        assert_eq!(t.sample(0.5), 0);
+        assert_eq!(t.sample(1.6), 64);
+        assert_eq!(t.sample_bits(1.6), u64::MAX);
+        assert_eq!(t.sample_bits(0.5), 0);
+    }
+
+    #[test]
+    fn thermometer_bits_contiguous() {
+        let mut t = TdcSensor::new(TdcConfig::paper_150mhz(3));
+        for _ in 0..200 {
+            let bits = t.sample_bits(0.99);
+            // thermometer: bits+1 must be a power of two
+            assert_eq!(bits & bits.wrapping_add(1), 0, "bits = {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn jitter_varies_samples() {
+        let mut t = TdcSensor::new(TdcConfig::paper_150mhz(4));
+        let samples: Vec<u32> = (0..100).map(|_| t.sample(1.0)).collect();
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        assert!(max > min, "jitter should dither the reading");
+        assert!(max - min < 8, "jitter too violent: {min}..{max}");
+    }
+}

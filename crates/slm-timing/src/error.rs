@@ -1,0 +1,52 @@
+//! Error type for timing analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by timing analysis and event simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// The netlist contains a combinational cycle; arrival times are
+    /// undefined.
+    CyclicNetlist,
+    /// Stimulus vector length does not match the primary input count.
+    StimulusMismatch {
+        /// Number of primary inputs.
+        expected: usize,
+        /// Number of stimulus bits supplied.
+        got: usize,
+    },
+    /// Delay annotation does not belong to the supplied netlist.
+    AnnotationMismatch,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::CyclicNetlist => {
+                write!(f, "netlist is cyclic; timing analysis requires a DAG")
+            }
+            TimingError::StimulusMismatch { expected, got } => {
+                write!(f, "stimulus has {got} bits but the netlist has {expected} inputs")
+            }
+            TimingError::AnnotationMismatch => {
+                write!(f, "delay annotation does not match this netlist")
+            }
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(TimingError::CyclicNetlist.to_string().contains("cyclic"));
+        let e = TimingError::StimulusMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,309 @@
+//! Static timing analysis: arrival times, critical path, fmax, slack.
+
+use crate::delay::AnnotatedDelays;
+use crate::error::TimingError;
+use serde::{Deserialize, Serialize};
+use slm_netlist::NetId;
+
+/// One hop of a reported timing path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSegment {
+    /// The net reached by this hop.
+    pub net: NetId,
+    /// Cumulative arrival at this net, ps.
+    pub arrival_ps: f64,
+}
+
+/// Result of static timing analysis: latest arrival per net under the
+/// single-corner delay annotation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaResult {
+    arrival_ps: Vec<f64>,
+    min_arrival_ps: Vec<f64>,
+    /// Fanin index realizing the max arrival, for path backtracking.
+    critical_fanin: Vec<Option<u32>>,
+    output_arrivals: Vec<f64>,
+    output_min_arrivals: Vec<f64>,
+    critical_net: Option<NetId>,
+}
+
+impl StaResult {
+    pub(crate) fn compute(ann: &AnnotatedDelays) -> Result<StaResult, TimingError> {
+        let nl = ann.netlist();
+        let order = nl
+            .topological_order()
+            .map_err(|_| TimingError::CyclicNetlist)?;
+        let mut arrival = vec![0.0f64; nl.len()];
+        let mut min_arrival = vec![0.0f64; nl.len()];
+        let mut critical_fanin: Vec<Option<u32>> = vec![None; nl.len()];
+        for &id in order {
+            let g = nl.gate(id);
+            if g.fanin.is_empty() {
+                arrival[id.index()] = 0.0;
+                min_arrival[id.index()] = 0.0;
+                continue;
+            }
+            let mut best = f64::NEG_INFINITY;
+            let mut earliest = f64::INFINITY;
+            let mut best_j = 0u32;
+            for (j, &f) in g.fanin.iter().enumerate() {
+                let t = arrival[f.index()] + ann.edge_ps(id.index(), j);
+                if t > best {
+                    best = t;
+                    best_j = j as u32;
+                }
+                let e = min_arrival[f.index()] + ann.edge_ps(id.index(), j);
+                if e < earliest {
+                    earliest = e;
+                }
+            }
+            arrival[id.index()] = best + ann.gate_ps(id.index());
+            min_arrival[id.index()] = earliest + ann.gate_ps(id.index());
+            critical_fanin[id.index()] = Some(best_j);
+        }
+        let output_arrivals: Vec<f64> = nl
+            .outputs()
+            .iter()
+            .map(|&(_, o)| arrival[o.index()])
+            .collect();
+        let output_min_arrivals: Vec<f64> = nl
+            .outputs()
+            .iter()
+            .map(|&(_, o)| min_arrival[o.index()])
+            .collect();
+        let critical_net = nl
+            .outputs()
+            .iter()
+            .map(|&(_, o)| o)
+            .max_by(|&a, &b| {
+                arrival[a.index()]
+                    .partial_cmp(&arrival[b.index()])
+                    .expect("arrival times are finite")
+            });
+        Ok(StaResult {
+            arrival_ps: arrival,
+            min_arrival_ps: min_arrival,
+            critical_fanin,
+            output_arrivals,
+            output_min_arrivals,
+            critical_net,
+        })
+    }
+
+    /// Latest arrival time of net `id`, ps.
+    pub fn arrival_ps(&self, id: NetId) -> f64 {
+        self.arrival_ps[id.index()]
+    }
+
+    /// Latest arrival per primary output, in output declaration order.
+    pub fn output_arrivals_ps(&self) -> &[f64] {
+        &self.output_arrivals
+    }
+
+    /// Earliest possible arrival of net `id`, ps — the fast-path bound
+    /// used for hold analysis.
+    pub fn min_arrival_ps(&self, id: NetId) -> f64 {
+        self.min_arrival_ps[id.index()]
+    }
+
+    /// Earliest arrival per primary output, in declaration order.
+    pub fn output_min_arrivals_ps(&self) -> &[f64] {
+        &self.output_min_arrivals
+    }
+
+    /// Hold slack per output against a register hold requirement (ps):
+    /// `min_arrival − hold`. Negative means the *next* launch edge's
+    /// fastest path can corrupt the capture — for the benign sensor,
+    /// endpoints whose fast paths beat the hold window cannot be used at
+    /// the chosen overclock (the reset stimulus would race the capture).
+    pub fn hold_slacks_ps(&self, hold_ps: f64) -> Vec<f64> {
+        self.output_min_arrivals
+            .iter()
+            .map(|&a| a - hold_ps)
+            .collect()
+    }
+
+    /// Whether every output satisfies the hold requirement.
+    pub fn meets_hold(&self, hold_ps: f64) -> bool {
+        self.hold_slacks_ps(hold_ps).iter().all(|&s| s >= 0.0)
+    }
+
+    /// Delay of the critical (longest) register-to-register path, ps.
+    ///
+    /// Measured to the primary outputs, which model register inputs in
+    /// this combinational abstraction.
+    pub fn critical_ps(&self) -> f64 {
+        self.output_arrivals
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum clock frequency implied by the critical path, MHz.
+    ///
+    /// Returns `f64::INFINITY` for an empty or zero-delay netlist.
+    pub fn fmax_mhz(&self) -> f64 {
+        let crit = self.critical_ps();
+        if crit <= 0.0 {
+            f64::INFINITY
+        } else {
+            1e6 / crit
+        }
+    }
+
+    /// Slack of each primary output against a clock period (ns):
+    /// `period − arrival`. Negative slack means a timing violation.
+    pub fn output_slacks_ns(&self, period_ns: f64) -> Vec<f64> {
+        self.output_arrivals
+            .iter()
+            .map(|a| period_ns - a / 1000.0)
+            .collect()
+    }
+
+    /// Whether the design meets timing at `freq_mhz`.
+    pub fn meets_timing(&self, freq_mhz: f64) -> bool {
+        self.fmax_mhz() >= freq_mhz
+    }
+
+    /// The critical path from a primary input to the latest output, as a
+    /// sequence of nets with cumulative arrivals.
+    ///
+    /// Empty when the netlist has no outputs.
+    pub fn critical_path(&self, nl: &slm_netlist::Netlist) -> Vec<PathSegment> {
+        let Some(mut net) = self.critical_net else {
+            return Vec::new();
+        };
+        let mut rev = Vec::new();
+        loop {
+            rev.push(PathSegment {
+                net,
+                arrival_ps: self.arrival_ps(net),
+            });
+            match self.critical_fanin[net.index()] {
+                Some(j) => net = nl.gate(net).fanin[j as usize],
+                None => break,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::delay::DelayModel;
+    use slm_netlist::generators::{alu, c6288, ripple_carry_adder, tdc_delay_line};
+    use slm_netlist::NetlistBuilder;
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let nl = tdc_delay_line(10).unwrap();
+        let ann = DelayModel {
+            variation_frac: 0.0,
+            routing_min_ps: 100.0,
+            routing_max_ps: 100.0,
+            per_fanout_ps: 0.0,
+            inv_ps: 40.0,
+            ..DelayModel::default()
+        }
+        .annotate(&nl);
+        let sta = ann.sta().unwrap();
+        let arr = sta.output_arrivals_ps();
+        // each stage adds 100 (edge) + 40 (buf) = 140 ps
+        for (i, &a) in arr.iter().enumerate() {
+            assert!((a - 140.0 * (i as f64 + 1.0)).abs() < 1e-9, "tap {i}: {a}");
+        }
+    }
+
+    #[test]
+    fn critical_path_is_monotone_and_ends_at_max() {
+        let nl = ripple_carry_adder(32).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let sta = ann.sta().unwrap();
+        let path = sta.critical_path(&nl);
+        assert!(path.len() > 32, "carry chain should be long");
+        for w in path.windows(2) {
+            assert!(w[0].arrival_ps <= w[1].arrival_ps);
+        }
+        assert!((path.last().unwrap().arrival_ps - sta.critical_ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alu192_synthesizable_at_50mhz_violates_300mhz() {
+        // The paper's operating points: synthesized for 50 MHz, overclocked
+        // to 300 MHz.
+        let nl = alu(192).unwrap();
+        let ann = DelayModel::default()
+            .annotate_for_period(&nl, 20.0, 0.9)
+            .unwrap();
+        let sta = ann.sta().unwrap();
+        assert!(sta.meets_timing(50.0));
+        assert!(!sta.meets_timing(300.0));
+        let slacks = sta.output_slacks_ns(1000.0 / 300.0);
+        assert!(slacks.iter().any(|&s| s < 0.0), "must violate at 300 MHz");
+        assert!(slacks.iter().any(|&s| s > 0.0), "short paths still pass");
+    }
+
+    #[test]
+    fn c6288_fmax_in_plausible_band() {
+        let nl = c6288().unwrap();
+        let ann = DelayModel::default()
+            .annotate_for_period(&nl, 20.0, 0.9)
+            .unwrap();
+        let f = ann.sta().unwrap().fmax_mhz();
+        assert!(f > 50.0 && f < 60.0, "fmax = {f} MHz");
+    }
+
+    #[test]
+    fn min_arrivals_bound_max() {
+        let nl = ripple_carry_adder(16).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let sta = ann.sta().unwrap();
+        for (min, max) in sta
+            .output_min_arrivals_ps()
+            .iter()
+            .zip(sta.output_arrivals_ps())
+        {
+            assert!(min <= max, "min {min} > max {max}");
+            assert!(*min > 0.0, "every output is behind at least one gate");
+        }
+        // sum[0] has a short fast path; sum[15]'s min path is still just
+        // its local xor pair, so min arrivals stay flat while max grows.
+        let mins = sta.output_min_arrivals_ps();
+        let maxs = sta.output_arrivals_ps();
+        assert!(maxs[15] / maxs[0] > 4.0);
+        assert!(mins[15] / mins[0] < 3.0);
+    }
+
+    #[test]
+    fn hold_analysis() {
+        let nl = ripple_carry_adder(8).unwrap();
+        let ann = DelayModel::default().annotate(&nl);
+        let sta = ann.sta().unwrap();
+        // every path is behind ≥1 gate + routing: tiny hold always met
+        assert!(sta.meets_hold(20.0));
+        // an absurd hold requirement fails
+        assert!(!sta.meets_hold(1.0e6));
+        let slacks = sta.hold_slacks_ps(20.0);
+        assert_eq!(slacks.len(), nl.outputs().len());
+        assert!(slacks.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn zero_depth_netlist() {
+        let mut b = NetlistBuilder::new("wire");
+        let a = b.input("a");
+        b.output("y", a);
+        let nl = b.finish().unwrap();
+        let sta = DelayModel::default().annotate(&nl).sta().unwrap();
+        assert_eq!(sta.critical_ps(), 0.0);
+        assert_eq!(sta.fmax_mhz(), f64::INFINITY);
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let ro = slm_netlist::generators::ring_oscillator(4).unwrap();
+        let ann = DelayModel::default().annotate(&ro);
+        assert!(matches!(ann.sta(), Err(crate::TimingError::CyclicNetlist)));
+    }
+}

@@ -51,13 +51,7 @@ impl LeakageModel {
     /// Current for one datapath cycle, given the register transition and
     /// the combinational operand, plus a noise draw.
     #[inline]
-    pub fn cycle_current(
-        &self,
-        reg_old: u32,
-        reg_new: u32,
-        operand: u32,
-        noise: f64,
-    ) -> f64 {
+    pub fn cycle_current(&self, reg_old: u32, reg_new: u32, operand: u32, noise: f64) -> f64 {
         self.idle_a
             + self.k_hd_a * f64::from((reg_old ^ reg_new).count_ones())
             + self.k_hw_a * f64::from(operand.count_ones())

@@ -77,12 +77,7 @@ impl Aes32Rtl {
                 let new_mask = rng.next_u64() as u32;
                 let old = col(&states[r - 1], c) ^ mask;
                 let new = col(&states[r], c) ^ new_mask;
-                trace.push(model.cycle_current(
-                    old,
-                    new,
-                    old,
-                    rng.normal_scaled(model.sigma_a),
-                ));
+                trace.push(model.cycle_current(old, new, old, rng.normal_scaled(model.sigma_a)));
                 mask = new_mask;
             }
         }
@@ -118,12 +113,7 @@ impl Aes32Rtl {
         // BRAM-captured design does); the datapath operand is the raw
         // plaintext word stream (model: last column loaded).
         let loaded = col(&states[0], 3);
-        trace.push(model.cycle_current(
-            0,
-            loaded,
-            pt_col(3),
-            rng.normal_scaled(model.sigma_a),
-        ));
+        trace.push(model.cycle_current(0, loaded, pt_col(3), rng.normal_scaled(model.sigma_a)));
 
         // Rounds 1..=10, one column per cycle. During round r, column c
         // of the state register transitions from states[r-1] to
@@ -133,12 +123,7 @@ impl Aes32Rtl {
             for c in 0..4 {
                 let old = col(&states[r - 1], c);
                 let new = col(&states[r], c);
-                trace.push(model.cycle_current(
-                    old,
-                    new,
-                    old,
-                    rng.normal_scaled(model.sigma_a),
-                ));
+                trace.push(model.cycle_current(old, new, old, rng.normal_scaled(model.sigma_a)));
             }
         }
         debug_assert_eq!(trace.len(), Self::CYCLES_PER_BLOCK);
@@ -211,12 +196,7 @@ mod tests {
             let states = soft::encrypt_round_states(&KEY, &pt);
             let (_, trace) = rtl.encrypt_with_power(pt, &m, &mut rng);
             let cyc = Aes32Rtl::last_round_cycle_for_byte(3);
-            let col0 = u32::from_le_bytes([
-                states[9][0],
-                states[9][1],
-                states[9][2],
-                states[9][3],
-            ]);
+            let col0 = u32::from_le_bytes([states[9][0], states[9][1], states[9][2], states[9][3]]);
             assert!(
                 (trace[cyc] - f64::from(col0.count_ones())).abs() < 1e-9,
                 "cycle current must equal HW of state9 column 0"
@@ -269,8 +249,7 @@ mod tests {
             syy += y * y;
         }
         let nf = n as f64;
-        let r = (nf * sxy - sx * sy)
-            / ((nf * sxx - sx * sx).sqrt() * (nf * syy - sy * sy).sqrt());
+        let r = (nf * sxy - sx * sy) / ((nf * sxx - sx * sx).sqrt() * (nf * syy - sy * sy).sqrt());
         assert!(
             r.abs() < 0.05,
             "masked current must not track the true state: r = {r}"

@@ -103,11 +103,7 @@ impl<'a> StimulusSearch<'a> {
                 waves
                     .output_waves()
                     .iter()
-                    .filter(|w| {
-                        w.transitions
-                            .iter()
-                            .any(|&(t, _)| t >= lo && t <= hi)
-                    })
+                    .filter(|w| w.transitions.iter().any(|&(t, _)| t >= lo && t <= hi))
                     .count() as f64
             }
         }
@@ -138,7 +134,11 @@ impl<'a> StimulusSearch<'a> {
                 for vec_idx in 0..2 {
                     for i in 0..n {
                         {
-                            let v = if vec_idx == 0 { &mut reset } else { &mut measure };
+                            let v = if vec_idx == 0 {
+                                &mut reset
+                            } else {
+                                &mut measure
+                            };
                             v[i] = !v[i];
                         }
                         let s = self.score(&reset, &measure);
@@ -147,7 +147,11 @@ impl<'a> StimulusSearch<'a> {
                             cur = s;
                             improved = true;
                         } else {
-                            let v = if vec_idx == 0 { &mut reset } else { &mut measure };
+                            let v = if vec_idx == 0 {
+                                &mut reset
+                            } else {
+                                &mut measure
+                            };
                             v[i] = !v[i];
                         }
                     }
@@ -227,7 +231,11 @@ mod tests {
             },
         );
         let found = search.run(10, 5);
-        assert!(found.score >= 4.0, "found only {} active endpoints", found.score);
+        assert!(
+            found.score >= 4.0,
+            "found only {} active endpoints",
+            found.score
+        );
         // verify by re-simulation
         let waves = simulate_transition(&ann, &found.reset, &found.measure).unwrap();
         let count = waves

@@ -38,18 +38,13 @@ fn ablate_sensor_jitter(c: &mut Criterion) {
             for s in &trace.benign {
                 act.add(s);
             }
-            println!(
-                "[ablate_jitter] {jitter} {}",
-                act.sensitive_bits().len()
-            );
+            println!("[ablate_jitter] {jitter} {}", act.sensitive_bits().len());
         }
     });
     c.bench_function("ablation_jitter_sweep_one_point", |b| {
         let config = FabricConfig::default();
         let mut fabric = MultiTenantFabric::new(&config).unwrap();
-        b.iter(|| {
-            fabric.run_activity(None, slm_fabric::AesActivity::Idle, black_box(50))
-        })
+        b.iter(|| fabric.run_activity(None, slm_fabric::AesActivity::Idle, black_box(50)))
     });
 }
 
@@ -105,8 +100,7 @@ fn ablate_wideband_path(c: &mut Criterion) {
                 ..FabricConfig::default()
             };
             let mut fabric = MultiTenantFabric::new(&config).unwrap();
-            let trace =
-                fabric.run_activity(None, slm_fabric::AesActivity::Continuous, 600);
+            let trace = fabric.run_activity(None, slm_fabric::AesActivity::Continuous, 600);
             let mean = trace.voltage.iter().sum::<f64>() / trace.voltage.len() as f64;
             let var = trace
                 .voltage
@@ -137,9 +131,7 @@ fn ablate_routing_spread(c: &mut Criterion) {
                 routing_max_ps: hi,
                 ..DelayModel::default()
             };
-            let ann = model
-                .annotate_for_period(&built.netlist, 5.2, 1.0)
-                .unwrap();
+            let ann = model.annotate_for_period(&built.netlist, 5.2, 1.0).unwrap();
             let waves = simulate_transition(&ann, &built.reset, &built.measure).unwrap();
             let mut settles: Vec<u64> = waves
                 .output_waves()

@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use slm_bench::run_and_report;
 use slm_core::experiments::{
-    activity_study, atpg_stimulus_study, floorplan_views, ro_response, stealth_audit,
-    timing_audit, CpaExperiment, SensorSource,
+    activity_study, atpg_stimulus_study, floorplan_views, ro_response, stealth_audit, timing_audit,
+    CpaExperiment, SensorSource,
 };
 use slm_core::report;
 use slm_fabric::{BenignCircuit, FabricConfig, MultiTenantFabric};
@@ -53,7 +53,12 @@ fn fig05_alu_raw_ro(c: &mut Criterion) {
         let vals: Vec<f64> = r.raw_values.iter().map(|&v| (v & 0xffff) as f64).collect();
         print!(
             "{}",
-            report::series_table("fig05: raw ALU word (low bits) per sample", "sample", "raw", &vals)
+            report::series_table(
+                "fig05: raw ALU word (low bits) per sample",
+                "sample",
+                "raw",
+                &vals
+            )
         );
         println!("[fig05] sensitive_bits={}", r.sensitive_bits.len());
     });
@@ -96,7 +101,10 @@ fn fig07_08_alu_census(c: &mut Criterion) {
         for (i, vro, vaes) in &s.variance.rows {
             println!("[fig08] {i} {vro:.5} {vaes:.5}");
         }
-        println!("[fig08] best_aes_endpoint={:?}", s.variance.best_aes_endpoint);
+        println!(
+            "[fig08] best_aes_endpoint={:?}",
+            s.variance.best_aes_endpoint
+        );
     });
     c.bench_function("fig07_08_alu_activity_study_600", |b| {
         b.iter(|| activity_study(black_box(BenignCircuit::Alu192), 600, 3).unwrap())
@@ -136,7 +144,11 @@ fn fig10_cpa_alu(c: &mut Criterion) {
             },
         );
     });
-    bench_trace_kernel(c, "fig10_alu_hw_trace_kernel", SensorSource::BenignHammingWeight);
+    bench_trace_kernel(
+        c,
+        "fig10_alu_hw_trace_kernel",
+        SensorSource::BenignHammingWeight,
+    );
 }
 
 fn fig11_cpa_tdc_bit32(c: &mut Criterion) {
@@ -154,7 +166,11 @@ fn fig11_cpa_tdc_bit32(c: &mut Criterion) {
             },
         );
     });
-    bench_trace_kernel(c, "fig11_tdc_bit_trace_kernel", SensorSource::TdcSingleBit(None));
+    bench_trace_kernel(
+        c,
+        "fig11_tdc_bit_trace_kernel",
+        SensorSource::TdcSingleBit(None),
+    );
 }
 
 fn fig12_cpa_alu_bit_best(c: &mut Criterion) {
@@ -217,7 +233,12 @@ fn fig14_c6288_raw_ro(c: &mut Criterion) {
         let vals: Vec<f64> = r.toggle_counts.iter().map(|&v| f64::from(v)).collect();
         print!(
             "{}",
-            report::series_table("fig14: toggling C6288 bits per sample", "sample", "toggles", &vals)
+            report::series_table(
+                "fig14: toggling C6288 bits per sample",
+                "sample",
+                "toggles",
+                &vals
+            )
         );
         println!("[fig14] sensitive_bits={} of 64", r.sensitive_bits.len());
     });
@@ -328,7 +349,10 @@ fn stealth_and_timing(c: &mut Criterion) {
         for row in &t.rows {
             println!(
                 "[timing] {} fmax={:.1}MHz ok@50={} ok@300={} strict_fires={}",
-                row.name, row.fmax_mhz, row.meets_synth_clock, row.meets_overclock,
+                row.name,
+                row.fmax_mhz,
+                row.meets_synth_clock,
+                row.meets_overclock,
                 row.strict_check_fires
             );
         }
@@ -336,7 +360,9 @@ fn stealth_and_timing(c: &mut Criterion) {
     c.bench_function("stealth_checker_full_zoo", |b| {
         b.iter(|| stealth_audit().unwrap())
     });
-    c.bench_function("strict_timing_audit", |b| b.iter(|| timing_audit(5.2).unwrap()));
+    c.bench_function("strict_timing_audit", |b| {
+        b.iter(|| timing_audit(5.2).unwrap())
+    });
 }
 
 fn atpg_stimuli(c: &mut Criterion) {

@@ -45,7 +45,9 @@ fn bench_format(c: &mut Criterion) {
 fn timing_analysis(c: &mut Criterion) {
     let nl = alu(192).unwrap();
     let model = DelayModel::default();
-    c.bench_function("annotate_alu192", |b| b.iter(|| model.annotate(black_box(&nl))));
+    c.bench_function("annotate_alu192", |b| {
+        b.iter(|| model.annotate(black_box(&nl)))
+    });
     let ann = model.annotate(&nl);
     c.bench_function("sta_alu192", |b| b.iter(|| ann.sta().unwrap()));
     let built = BenignCircuit::Alu192.build().unwrap();

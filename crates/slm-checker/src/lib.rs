@@ -211,8 +211,7 @@ fn pass_combinational_loop(nl: &Netlist, report: &mut CheckReport) {
 fn pass_delay_line(nl: &Netlist, config: &CheckerConfig, report: &mut CheckReport) {
     // Walk maximal chains of single-fanin BUF/NOT cells and count how
     // many chain nets are primary outputs (taps).
-    let outputs: std::collections::HashSet<NetId> =
-        nl.outputs().iter().map(|&(_, o)| o).collect();
+    let outputs: std::collections::HashSet<NetId> = nl.outputs().iter().map(|&(_, o)| o).collect();
     let mut fanout = vec![0usize; nl.len()];
     for g in nl.gates() {
         for &f in &g.fanin {
@@ -220,8 +219,7 @@ fn pass_delay_line(nl: &Netlist, config: &CheckerConfig, report: &mut CheckRepor
         }
     }
     let is_chain_cell = |id: NetId| {
-        matches!(nl.gate(id).kind, GateKind::Buf | GateKind::Not)
-            && nl.gate(id).fanin.len() == 1
+        matches!(nl.gate(id).kind, GateKind::Buf | GateKind::Not) && nl.gate(id).fanin.len() == 1
     };
     let mut visited = vec![false; nl.len()];
     for start in 0..nl.len() {
@@ -287,8 +285,7 @@ fn pass_trivial_array(nl: &Netlist, config: &CheckerConfig, report: &mut CheckRe
         .gates()
         .iter()
         .filter(|g| {
-            matches!(g.kind, GateKind::Not | GateKind::Buf | GateKind::Nand)
-                && g.fanin.len() <= 2
+            matches!(g.kind, GateKind::Not | GateKind::Buf | GateKind::Nand) && g.fanin.len() <= 2
         })
         .count();
     let total_logic = nl
@@ -300,9 +297,7 @@ fn pass_trivial_array(nl: &Netlist, config: &CheckerConfig, report: &mut CheckRe
         report.findings.push(Finding {
             kind: CheckKind::ExcessiveFanoutArray,
             witness: None,
-            detail: format!(
-                "{trivial} of {total_logic} cells are trivial replicated gates"
-            ),
+            detail: format!("{trivial} of {total_logic} cells are trivial replicated gates"),
         });
     }
 }
@@ -310,9 +305,7 @@ fn pass_trivial_array(nl: &Netlist, config: &CheckerConfig, report: &mut CheckRe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slm_netlist::generators::{
-        alu, array_multiplier, c17, ring_oscillator, tdc_delay_line,
-    };
+    use slm_netlist::generators::{alu, array_multiplier, c17, ring_oscillator, tdc_delay_line};
     use slm_netlist::{Gate, GateKind, NetId, Netlist};
     use slm_timing::DelayModel;
 
@@ -360,19 +353,14 @@ mod tests {
             gates.push(Gate::new(GateKind::Nand, vec![NetId(0), NetId(0)]));
             names.push(Some(format!("cell{i}")));
         }
-        let nl =
-            Netlist::from_parts("grid", gates, vec![NetId(0)], vec![], names).unwrap();
+        let nl = Netlist::from_parts("grid", gates, vec![NetId(0)], vec![], names).unwrap();
         let r = check_structure(&nl);
         assert!(r.flagged(CheckKind::ExcessiveFanoutArray));
     }
 
     #[test]
     fn benign_circuits_pass_structural_checks() {
-        for nl in [
-            alu(192).unwrap(),
-            array_multiplier(16).unwrap(),
-            c17(),
-        ] {
+        for nl in [alu(192).unwrap(), array_multiplier(16).unwrap(), c17()] {
             let r = check_structure(&nl);
             assert!(r.is_clean(), "{} flagged: {:?}", nl.name(), r.findings);
         }

@@ -171,8 +171,22 @@ pub fn architecture_study(seed: u64) -> Result<ArchStudy, FabricError> {
             window_frac,
             seed,
         )?,
-        score(&array_multiplier(16)?, None, &model, &sweep_ps, window_frac, seed)?,
-        score(&wallace_multiplier(16)?, None, &model, &sweep_ps, window_frac, seed)?,
+        score(
+            &array_multiplier(16)?,
+            None,
+            &model,
+            &sweep_ps,
+            window_frac,
+            seed,
+        )?,
+        score(
+            &wallace_multiplier(16)?,
+            None,
+            &model,
+            &sweep_ps,
+            window_frac,
+            seed,
+        )?,
     ];
     Ok(ArchStudy {
         rows,

@@ -82,11 +82,8 @@ pub fn timing_audit(achieved_critical_ns: f64) -> Result<TimingAudit, FabricErro
     let mut rows = Vec::new();
     for circuit in [BenignCircuit::Alu192, BenignCircuit::DualC6288] {
         let built = circuit.build()?;
-        let ann = DelayModel::default().annotate_for_period(
-            &built.netlist,
-            achieved_critical_ns,
-            1.0,
-        )?;
+        let ann =
+            DelayModel::default().annotate_for_period(&built.netlist, achieved_critical_ns, 1.0)?;
         let sta = ann.sta()?;
         rows.push(TimingVerdict {
             name: circuit.name().to_string(),
@@ -137,24 +134,44 @@ pub fn floorplan_views(
     // circuit and the reference TDC; victim region holds AES; RO array
     // fills its own block.
     fp.column(
-        Rect { x: 1, y: 2, w: 2, h: 40 },
+        Rect {
+            x: 1,
+            y: 2,
+            w: 2,
+            h: 40,
+        },
         CellKind::Tdc,
         64,
     );
     fp.scatter(
-        Rect { x: 6, y: 2, w: 22, h: 46 },
+        Rect {
+            x: 6,
+            y: 2,
+            w: 22,
+            h: 46,
+        },
         CellKind::BenignLogic,
         gate_cells.min(22 * 46),
         seed,
     );
     fp.scatter(
-        Rect { x: 30, y: 2, w: 9, h: 46 },
+        Rect {
+            x: 30,
+            y: 2,
+            w: 9,
+            h: 46,
+        },
         CellKind::Aes,
         220,
         seed ^ 1,
     );
     fp.scatter(
-        Rect { x: 41, y: 2, w: 8, h: 46 },
+        Rect {
+            x: 41,
+            y: 2,
+            w: 8,
+            h: 46,
+        },
         CellKind::Ro,
         300,
         seed ^ 2,

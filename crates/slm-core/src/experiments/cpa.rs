@@ -117,10 +117,7 @@ pub(crate) fn run_cpa_inner(
         tdc_depths.extend(&rec.tdc);
     }
     tdc_depths.sort_unstable();
-    let tdc_median = tdc_depths
-        .get(tdc_depths.len() / 2)
-        .copied()
-        .unwrap_or(31);
+    let tdc_median = tdc_depths.get(tdc_depths.len() / 2).copied().unwrap_or(31);
     let mut bits_of_interest = activity.sensitive_bits();
     if bits_of_interest.is_empty() {
         bits_of_interest = (0..fabric.endpoints()).collect();
@@ -147,9 +144,7 @@ pub(crate) fn run_cpa_inner(
         _ => Vec::new(),
     };
     let selected_bit = match exp.source {
-        SensorSource::BenignSingleBit(_) => {
-            Some(candidate_bits.first().copied().unwrap_or(0))
-        }
+        SensorSource::BenignSingleBit(_) => Some(candidate_bits.first().copied().unwrap_or(0)),
         SensorSource::TdcSingleBit(Some(b)) => Some(b),
         SensorSource::TdcSingleBit(None) => Some(tdc_median as usize),
         _ => None,

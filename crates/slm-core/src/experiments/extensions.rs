@@ -81,9 +81,8 @@ pub fn full_key_recovery(
             )
         }
         SensorSource::BenignSingleBit(sel) => {
-            let bit = sel.unwrap_or_else(|| {
-                activity.best_endpoint().unwrap_or(bits_of_interest[0])
-            });
+            let bit =
+                sel.unwrap_or_else(|| activity.best_endpoint().unwrap_or(bits_of_interest[0]));
             (vec![bit], Some(PostProcessor::SingleBit(0)))
         }
     };
@@ -234,10 +233,7 @@ impl FenceStudy {
 /// # Errors
 ///
 /// Propagates fabric construction failures.
-pub fn fence_study(
-    base: &CpaExperiment,
-    fence: FenceConfig,
-) -> Result<FenceStudy, FabricError> {
+pub fn fence_study(base: &CpaExperiment, fence: FenceConfig) -> Result<FenceStudy, FabricError> {
     let without_fence = run_cpa(base)?;
     let with_fence = run_cpa_with(base, |config| config.fence = Some(fence))?;
     Ok(FenceStudy {
@@ -362,10 +358,7 @@ mod tests {
         );
         if r.correct_bytes == 16 {
             assert!(r.master_key_correct);
-            assert_eq!(
-                r.recovered_master_key,
-                FabricConfig::default().aes_key
-            );
+            assert_eq!(r.recovered_master_key, FabricConfig::default().aes_key);
         }
     }
 
@@ -375,11 +368,7 @@ mod tests {
         assert!(r.tdc_leaks, "TDC t = {}", r.tdc_max_t);
         assert!(r.tdc_max_t > TVLA_THRESHOLD);
         // benign sensor: weaker but must still show leakage with margin
-        assert!(
-            r.benign_max_t > 3.0,
-            "benign sensor t = {}",
-            r.benign_max_t
-        );
+        assert!(r.benign_max_t > 3.0, "benign sensor t = {}", r.benign_max_t);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Robustness study: byte-fault rate on the UART versus attack outcome.
+//!
+//! The paper's campaigns assume a clean workstation link; this study
+//! quantifies what an unreliable one costs the attacker. For each fault
+//! rate a TDC capture campaign runs through the resilient
+//! [`CampaignDriver`] (retry, resync, quarantine) and a streaming CPA
+//! consumes only the validated traces. Halfway through, the CPA
+//! accumulator is serialized to bytes and resumed — every row therefore
+//! exercises the checkpoint path under fire, and a row where the
+//! resumed ranking diverged from the live accumulator would fail its
+//! consistency check.
+
+use serde::{Deserialize, Serialize};
+use slm_cpa::store::{read_checkpoint, write_checkpoint};
+use slm_cpa::{measurements_to_disclosure, CpaAttack, LastRoundModel, ProgressPoint};
+use slm_fabric::{
+    BenignCircuit, CampaignDriver, FabricConfig, FabricError, FaultPlan, RemoteSession,
+    TransportError,
+};
+use slm_pdn::noise::Rng64;
+
+/// Parameters of one fault-robustness sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultStudy {
+    /// The benign circuit sharing the fabric with the victim.
+    pub circuit: BenignCircuit,
+    /// Capture requests per fault rate.
+    pub traces: u64,
+    /// Byte-fault rates to sweep (0.0 = clean wire baseline).
+    pub fault_rates: Vec<f64>,
+    /// Number of evenly spaced correlation checkpoints per row.
+    pub checkpoints: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for FaultStudy {
+    fn default() -> Self {
+        FaultStudy {
+            circuit: BenignCircuit::DualC6288,
+            traces: 3_000,
+            fault_rates: vec![0.0, 1e-4, 1e-3],
+            checkpoints: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Outcome of one fault rate within a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRow {
+    /// Byte-fault rate on the wire.
+    pub fault_rate: f64,
+    /// Capture requests issued.
+    pub requested: u64,
+    /// Validated traces delivered to the CPA.
+    pub delivered: u64,
+    /// Requests abandoned after the retry budget.
+    pub abandoned: u64,
+    /// Retry attempts beyond the first, summed.
+    pub retries: u64,
+    /// Structurally intact records quarantined by validation.
+    pub quarantined: u64,
+    /// Times the link scanner discarded bytes to regain frame sync.
+    pub resyncs: u64,
+    /// Total retry backoff charged to the wire, seconds.
+    pub backoff_s: f64,
+    /// Total wire time of the campaign, seconds.
+    pub wire_time_s: f64,
+    /// Whether the correct key byte strictly led at the end.
+    pub recovered: bool,
+    /// Final ranking position of the correct key byte (0 = leader).
+    pub rank_of_correct: usize,
+    /// Delivered traces until the correct key led for good, if it did.
+    pub mtd: Option<u64>,
+}
+
+/// Outcome of a fault-robustness sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultStudyResult {
+    /// Ground-truth last-round key byte under attack.
+    pub correct_key_byte: u8,
+    /// One row per swept fault rate.
+    pub rows: Vec<FaultRow>,
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Propagates fabric construction failures and non-retryable fabric
+/// errors; `InvalidData`-style checkpoint corruption surfaces as a
+/// transport validation error (it cannot occur with an in-memory
+/// buffer and indicates a bug).
+pub fn fault_study(exp: &FaultStudy) -> Result<FaultStudyResult, FabricError> {
+    let model = LastRoundModel::paper_target();
+    let mut correct_key_byte = 0u8;
+    let mut rows = Vec::with_capacity(exp.fault_rates.len());
+    for (i, &rate) in exp.fault_rates.iter().enumerate() {
+        let config = FabricConfig {
+            benign: exp.circuit,
+            seed: exp.seed,
+            ..FabricConfig::default()
+        };
+        let session = if rate > 0.0 {
+            let plan = FaultPlan::byte_noise(exp.seed ^ (i as u64).wrapping_mul(0x9e37), rate);
+            RemoteSession::with_fault_plan(&config, vec![], plan)?
+        } else {
+            RemoteSession::new(&config, vec![])?
+        };
+        correct_key_byte = session.fabric().aes().round_keys()[10][model.ct_byte];
+        let points = session.fabric().last_round_window().len();
+        let mut driver = CampaignDriver::new(session);
+
+        let mut attack = CpaAttack::new(model, points);
+        let mut rng = Rng64::new(exp.seed.wrapping_add(i as u64));
+        let mut abandoned = 0u64;
+        let mut progress: Vec<ProgressPoint> = Vec::with_capacity(exp.checkpoints);
+        let snap_every = (exp.traces / exp.checkpoints.max(1) as u64).max(1);
+        let mut point_buf = vec![0.0f64; points];
+        for t in 1..=exp.traces {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            match driver.capture(pt) {
+                Ok(rec) => {
+                    for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
+                        *dst = f64::from(d);
+                    }
+                    attack.add_trace(&rec.ciphertext, &point_buf);
+                }
+                Err(FabricError::Transport(TransportError::RetriesExhausted { .. })) => {
+                    // The resilient driver gave up on this trace; the
+                    // campaign proceeds without it.
+                    abandoned += 1;
+                }
+                Err(fatal) => return Err(fatal),
+            }
+            if t % snap_every == 0 || t == exp.traces {
+                progress.push(ProgressPoint {
+                    traces: attack.traces(),
+                    peak_corr: attack.peak_correlations().to_vec(),
+                });
+            }
+            if t == exp.traces / 2 {
+                // Mid-campaign crash drill: serialize the accumulator,
+                // reload it, and continue from the resumed copy.
+                let mut bytes = Vec::new();
+                write_checkpoint(&mut bytes, &attack.checkpoint())
+                    .expect("in-memory checkpoint write cannot fail");
+                let resumed =
+                    CpaAttack::resume(read_checkpoint(&bytes[..]).expect("checkpoint must reload"))
+                        .expect("checkpoint must resume");
+                assert_eq!(resumed, attack, "resume diverged from live accumulator");
+                attack = resumed;
+            }
+        }
+
+        let stats = *driver.stats();
+        let session = driver.into_session();
+        rows.push(FaultRow {
+            fault_rate: rate,
+            requested: stats.requested,
+            delivered: stats.delivered,
+            abandoned,
+            retries: stats.retries,
+            quarantined: stats.quarantined,
+            resyncs: session.link_stats().resyncs,
+            backoff_s: stats.backoff_s,
+            wire_time_s: session.wire_time_s(),
+            recovered: attack.traces() > 0 && attack.rank_of(correct_key_byte) == 0,
+            rank_of_correct: attack.rank_of(correct_key_byte),
+            mtd: measurements_to_disclosure(&progress, correct_key_byte),
+        });
+    }
+    Ok(FaultStudyResult {
+        correct_key_byte,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_wire_baseline_recovers_key() {
+        let exp = FaultStudy {
+            traces: 3_000,
+            fault_rates: vec![0.0],
+            ..FaultStudy::default()
+        };
+        let r = fault_study(&exp).unwrap();
+        let row = &r.rows[0];
+        assert!(row.recovered, "clean-wire TDC attack must converge");
+        assert_eq!(row.delivered, row.requested);
+        assert_eq!(row.retries, 0);
+        assert_eq!(row.abandoned, 0);
+        assert_eq!(row.quarantined, 0);
+        assert!(row.mtd.is_some());
+    }
+
+    #[test]
+    fn faulty_wire_still_recovers_with_bounded_overhead() {
+        let exp = FaultStudy {
+            traces: 3_000,
+            fault_rates: vec![0.0, 1e-3],
+            seed: 3,
+            ..FaultStudy::default()
+        };
+        let r = fault_study(&exp).unwrap();
+        let clean = &r.rows[0];
+        let noisy = &r.rows[1];
+        assert!(clean.recovered && noisy.recovered);
+        assert!(noisy.retries > 0, "1e-3/byte must force retries");
+        assert!(noisy.resyncs > 0, "1e-3/byte must force resyncs");
+        // The retry loop pays in wire time, never in correctness.
+        assert!(noisy.wire_time_s > clean.wire_time_s);
+        assert!(noisy.delivered >= exp.traces * 9 / 10);
+    }
+}

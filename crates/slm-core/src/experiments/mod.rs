@@ -5,19 +5,21 @@ mod arch_study;
 mod audits;
 mod cpa;
 mod extensions;
+mod fault_study;
 mod preliminary;
 
 pub use arch_study::{architecture_study, ArchRow, ArchStudy};
 pub use audits::{
-    atpg_stimulus_study, floorplan_views, stealth_audit, timing_audit, AtpgStudy,
-    FloorplanView, StealthAudit, TimingAudit, TimingVerdict,
+    atpg_stimulus_study, floorplan_views, stealth_audit, timing_audit, AtpgStudy, FloorplanView,
+    StealthAudit, TimingAudit, TimingVerdict,
 };
 pub use cpa::{aes_pilot_activity, run_cpa, CpaExperiment, CpaResult, SensorSource};
 pub use extensions::{
     fence_study, full_key_recovery, masking_study, placement_study, run_cpa_with, tdc_dominates,
     tvla_study, FenceStudy, FullKeyResult, MaskingStudy, PlacementRow, TvlaResult,
 };
+pub use fault_study::{fault_study, FaultRow, FaultStudy, FaultStudyResult};
 pub use preliminary::{
-    activity_study, bit_census, bit_variance, ro_response, ActivityStudy, CensusResult,
-    RoResponse, VarianceResult,
+    activity_study, bit_census, bit_variance, ro_response, ActivityStudy, CensusResult, RoResponse,
+    VarianceResult,
 };

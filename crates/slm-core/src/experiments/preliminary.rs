@@ -3,7 +3,9 @@
 
 use serde::{Deserialize, Serialize};
 use slm_cpa::{common_mode_polarity, BitActivity, BitCensus, PostProcessor};
-use slm_fabric::{AesActivity, BenignCircuit, FabricConfig, FabricError, MultiTenantFabric, RoSchedule};
+use slm_fabric::{
+    AesActivity, BenignCircuit, FabricConfig, FabricError, MultiTenantFabric, RoSchedule,
+};
 
 /// Output of the Fig. 5 / Fig. 6 / Fig. 14 experiment: the benign
 /// circuit and the TDC observed while the RO array pulses at 4 MHz.
@@ -254,7 +256,10 @@ mod tests {
         // TDC must dip under the droop.
         let tdc_quiet = r.tdc[..35].iter().copied().min().unwrap();
         let tdc_min = r.tdc.iter().copied().min().unwrap();
-        assert!(tdc_min + 5 < tdc_quiet, "tdc {tdc_min} vs quiet {tdc_quiet}");
+        assert!(
+            tdc_min + 5 < tdc_quiet,
+            "tdc {tdc_min} vs quiet {tdc_quiet}"
+        );
     }
 
     #[test]
@@ -305,9 +310,7 @@ mod tests {
         assert!(c.ro_sensitive.len() >= c.aes_sensitive.len());
         assert_eq!(
             c.unaffected,
-            c.total
-                - c.ro_sensitive.len()
-                - c.aes_only.len()
+            c.total - c.ro_sensitive.len() - c.aes_only.len()
         );
     }
 

@@ -55,6 +55,6 @@ pub mod report;
 
 pub use experiments::{
     atpg_stimulus_study, bit_census, bit_variance, floorplan_views, ro_response, run_cpa,
-    stealth_audit, timing_audit, CensusResult, CpaExperiment, CpaResult, RoResponse,
-    SensorSource, StealthAudit, TimingAudit, VarianceResult,
+    stealth_audit, timing_audit, CensusResult, CpaExperiment, CpaResult, RoResponse, SensorSource,
+    StealthAudit, TimingAudit, VarianceResult,
 };

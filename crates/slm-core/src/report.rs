@@ -32,11 +32,18 @@ pub fn series_table(title: &str, x_label: &str, y_label: &str, ys: &[f64]) -> St
 /// correct key marked.
 pub fn correlation_panel(peaks: &[f64], correct: u8) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# peak |r| per key candidate (correct = {correct:#04x})");
+    let _ = writeln!(
+        out,
+        "# peak |r| per key candidate (correct = {correct:#04x})"
+    );
     let max = peaks.iter().copied().fold(0.0f64, f64::max).max(1e-12);
     for (k, &p) in peaks.iter().enumerate() {
         let bar = "#".repeat((p / max * 40.0).round() as usize);
-        let mark = if k == correct as usize { " <-- correct key" } else { "" };
+        let mark = if k == correct as usize {
+            " <-- correct key"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "{k:#04x} {p:+.4} {bar}{mark}");
     }
     out
@@ -73,10 +80,7 @@ mod tests {
         peaks[0x42] = 0.5;
         let panel = correlation_panel(&peaks, 0x42);
         assert!(panel.contains("<-- correct key"));
-        let correct_line = panel
-            .lines()
-            .find(|l| l.contains("<-- correct"))
-            .unwrap();
+        let correct_line = panel.lines().find(|l| l.contains("<-- correct")).unwrap();
         assert!(correct_line.starts_with("0x42"));
     }
 }

@@ -174,6 +174,85 @@ impl CpaAttack {
         let target = peaks[key as usize];
         peaks.iter().filter(|&&p| p > target).count()
     }
+
+    /// Snapshots the full accumulator state.
+    ///
+    /// The checkpoint is everything: resuming from it and absorbing the
+    /// remaining traces yields bit-identical correlations to an
+    /// uninterrupted run, which is what lets a multi-hour campaign
+    /// survive a host crash. Serialize with
+    /// [`crate::store::write_checkpoint`].
+    pub fn checkpoint(&self) -> CpaCheckpoint {
+        CpaCheckpoint {
+            model: self.model,
+            points: self.points,
+            bin_count: self.bin_count.clone(),
+            bin_sum: self.bin_sum.clone(),
+            sum_sq: self.sum_sq.clone(),
+            traces: self.traces,
+        }
+    }
+
+    /// Rebuilds an attack from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the checkpoint's internal geometry is
+    /// inconsistent (vector lengths must match `points`).
+    pub fn resume(cp: CpaCheckpoint) -> std::io::Result<Self> {
+        let bad = |detail: String| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
+        if cp.model.ct_byte >= 16 || cp.model.bit >= 8 {
+            return Err(bad(format!(
+                "invalid model: ct_byte {} bit {}",
+                cp.model.ct_byte, cp.model.bit
+            )));
+        }
+        if cp.bin_count.len() != 256 {
+            return Err(bad(format!("{} bins, expected 256", cp.bin_count.len())));
+        }
+        if cp.bin_sum.len() != 256 * cp.points || cp.sum_sq.len() != cp.points {
+            return Err(bad(format!(
+                "accumulator geometry {}/{} inconsistent with {} points",
+                cp.bin_sum.len(),
+                cp.sum_sq.len(),
+                cp.points
+            )));
+        }
+        if cp.bin_count.iter().sum::<u64>() != cp.traces {
+            return Err(bad(format!(
+                "bin counts sum to {}, trace count says {}",
+                cp.bin_count.iter().sum::<u64>(),
+                cp.traces
+            )));
+        }
+        Ok(CpaAttack {
+            model: cp.model,
+            points: cp.points,
+            bin_count: cp.bin_count,
+            bin_sum: cp.bin_sum,
+            sum_sq: cp.sum_sq,
+            traces: cp.traces,
+        })
+    }
+}
+
+/// A complete snapshot of a [`CpaAttack`] accumulator, detached from
+/// the attack so it can cross a serialization boundary
+/// ([`crate::store::write_checkpoint`] / [`crate::store::read_checkpoint`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpaCheckpoint {
+    /// The hypothesis model under attack.
+    pub model: LastRoundModel,
+    /// Points per trace.
+    pub points: usize,
+    /// Per ct-byte-value trace count (256 entries).
+    pub bin_count: Vec<u64>,
+    /// Per ct-byte-value, per point: sum of trace values (256 × points).
+    pub bin_sum: Vec<f64>,
+    /// Per point: sum of squares over all traces.
+    pub sum_sq: Vec<f64>,
+    /// Traces absorbed.
+    pub traces: u64,
 }
 
 #[cfg(test)]
@@ -199,10 +278,7 @@ mod tests {
             // point 0: pure noise; point 1: leaky
             attack.add_trace(
                 &ct,
-                &[
-                    rng.normal_scaled(1.0),
-                    h + rng.normal_scaled(noise_sigma),
-                ],
+                &[rng.normal_scaled(1.0), h + rng.normal_scaled(noise_sigma)],
             );
         }
         (attack, k10[3])
@@ -261,6 +337,67 @@ mod tests {
     fn wrong_point_count_panics() {
         let mut attack = CpaAttack::new(LastRoundModel::paper_target(), 2);
         attack.add_trace(&[0; 16], &[1.0]);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        // Interrupting a campaign mid-stream and resuming from the
+        // checkpoint must reproduce the uninterrupted accumulator
+        // exactly — same correlations, same ranking, bit for bit.
+        let key = [0x51u8; 16];
+        let model = LastRoundModel::paper_target();
+        let mut rng = Rng64::new(77);
+        let records: Vec<([u8; 16], [f64; 2])> = (0..1200)
+            .map(|_| {
+                let mut pt = [0u8; 16];
+                rng.fill_bytes(&mut pt);
+                let ct = soft::encrypt(&key, &pt);
+                let x = [rng.normal(), rng.normal()];
+                (ct, x)
+            })
+            .collect();
+
+        let mut unbroken = CpaAttack::new(model, 2);
+        for (ct, x) in &records {
+            unbroken.add_trace(ct, x);
+        }
+
+        let mut first_half = CpaAttack::new(model, 2);
+        for (ct, x) in &records[..600] {
+            first_half.add_trace(ct, x);
+        }
+        let cp = first_half.checkpoint();
+        drop(first_half); // the "crash"
+        let mut resumed = CpaAttack::resume(cp).unwrap();
+        for (ct, x) in &records[600..] {
+            resumed.add_trace(ct, x);
+        }
+
+        assert_eq!(resumed, unbroken);
+        assert_eq!(resumed.correlations(), unbroken.correlations());
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_checkpoints() {
+        let attack = CpaAttack::new(LastRoundModel::paper_target(), 2);
+        let good = attack.checkpoint();
+        assert!(CpaAttack::resume(good.clone()).is_ok());
+
+        let mut bad = good.clone();
+        bad.bin_sum.pop();
+        assert!(CpaAttack::resume(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.traces = 5; // bins say 0
+        assert!(CpaAttack::resume(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.bin_count.truncate(8);
+        assert!(CpaAttack::resume(bad).is_err());
+
+        let mut bad = good;
+        bad.model.ct_byte = 99;
+        assert!(CpaAttack::resume(bad).is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod postprocess;
 pub mod store;
 mod tvla;
 
-pub use attack::{CpaAttack, LastRoundModel};
+pub use attack::{CpaAttack, CpaCheckpoint, LastRoundModel};
 pub use bits::{common_mode_polarity, BitActivity, BitCensus};
 pub use mtd::{measurements_to_disclosure, rank_progress, ProgressPoint};
 pub use multibyte::MultiByteCpa;

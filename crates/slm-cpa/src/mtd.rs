@@ -78,10 +78,10 @@ mod tests {
     #[test]
     fn disclosure_after_stabilization() {
         let progress = vec![
-            point(100, 0.1, 0.2),  // not leading
-            point(200, 0.3, 0.2),  // leads
-            point(300, 0.1, 0.2),  // lost the lead again
-            point(400, 0.4, 0.2),  // leads for good
+            point(100, 0.1, 0.2), // not leading
+            point(200, 0.3, 0.2), // leads
+            point(300, 0.1, 0.2), // lost the lead again
+            point(400, 0.4, 0.2), // leads for good
             point(500, 0.5, 0.2),
         ];
         assert_eq!(measurements_to_disclosure(&progress, 42), Some(400));

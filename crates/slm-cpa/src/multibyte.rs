@@ -114,8 +114,7 @@ mod tests {
             // leakage: sum over all bytes of the pre-SubBytes bit + noise
             let mut leak = 0.0;
             for b in 0..16 {
-                leak +=
-                    f64::from(soft::INV_SBOX[(ct[b] ^ k10[b]) as usize] & 1);
+                leak += f64::from(soft::INV_SBOX[(ct[b] ^ k10[b]) as usize] & 1);
             }
             multi.add_trace(&ct, &[leak + rng.normal_scaled(2.0)]);
         }

@@ -31,9 +31,7 @@ impl PostProcessor {
     pub fn reduce(&self, sample: &SensorSample) -> f64 {
         match self {
             PostProcessor::HammingWeightAll => f64::from(sample.hamming_weight()),
-            PostProcessor::HammingWeightOf(bits) => {
-                f64::from(sample.hamming_weight_of(bits))
-            }
+            PostProcessor::HammingWeightOf(bits) => f64::from(sample.hamming_weight_of(bits)),
             PostProcessor::HammingWeightAligned(invert) => {
                 assert_eq!(invert.len(), sample.len, "invert mask length");
                 (0..sample.len)

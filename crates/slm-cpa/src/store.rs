@@ -8,20 +8,38 @@
 //! written/read through any `std::io` stream so campaigns can be
 //! captured once and re-analyzed offline.
 //!
-//! Format (all little-endian):
+//! Trace-file format (all little-endian):
 //!
 //! ```text
 //! magic "SLMT" | version u16 | points u16 | count u64
 //! count × ( ciphertext [u8; 16] | points × f32 )
 //! fletcher-64 checksum over everything above
 //! ```
+//!
+//! The module also serializes [`CpaCheckpoint`]s —
+//! [`write_checkpoint`] / [`read_checkpoint`] — so a long capture
+//! campaign can persist its streaming accumulator and resume after a
+//! crash without replaying every trace:
+//!
+//! ```text
+//! magic "SLMC" | version u16 | points u16 | ct_byte u8 | bit u8 | traces u64
+//! 256 × u64 bin_count | (256 × points) × f64 bin_sum | points × f64 sum_sq
+//! fletcher-64 checksum over everything above
+//! ```
 
+use crate::attack::CpaCheckpoint;
+use crate::LastRoundModel;
 use std::io::{self, Read, Write};
 
-/// Current format version.
+/// Current trace-file format version.
 pub const TRACE_FILE_VERSION: u16 = 1;
 
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
 const MAGIC: [u8; 4] = *b"SLMT";
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"SLMC";
 
 /// One stored trace: the ciphertext and its post-processed points.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,6 +243,112 @@ pub fn read_traces<R: Read>(mut source: R) -> io::Result<Vec<TraceRecord>> {
     Ok(out)
 }
 
+/// Serializes a [`CpaCheckpoint`] with a Fletcher-64 integrity seal.
+///
+/// # Errors
+///
+/// `InvalidInput` if the point count exceeds the format's `u16` field;
+/// otherwise propagates I/O errors.
+pub fn write_checkpoint<W: Write>(mut sink: W, cp: &CpaCheckpoint) -> io::Result<()> {
+    if cp.points > usize::from(u16::MAX) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{} points exceed the format limit", cp.points),
+        ));
+    }
+    let mut buf = Vec::with_capacity(16 + 256 * 8 + (256 * cp.points + cp.points) * 8);
+    buf.extend_from_slice(&CHECKPOINT_MAGIC);
+    buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(cp.points as u16).to_le_bytes());
+    buf.push(cp.model.ct_byte as u8);
+    buf.push(cp.model.bit);
+    buf.extend_from_slice(&cp.traces.to_le_bytes());
+    for &c in &cp.bin_count {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    for &s in &cp.bin_sum {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    for &q in &cp.sum_sq {
+        buf.extend_from_slice(&q.to_le_bytes());
+    }
+    let mut sum = Fletcher64::default();
+    sum.update(&buf);
+    buf.extend_from_slice(&sum.finish().to_le_bytes());
+    sink.write_all(&buf)
+}
+
+/// Reads a checkpoint written by [`write_checkpoint`], validating the
+/// integrity seal and the accumulator geometry.
+///
+/// # Errors
+///
+/// `InvalidData` on bad magic, version, truncation, checksum mismatch,
+/// or a geometry that does not describe a valid accumulator.
+pub fn read_checkpoint<R: Read>(mut source: R) -> io::Result<CpaCheckpoint> {
+    let bad = |detail: &str| io::Error::new(io::ErrorKind::InvalidData, detail.to_string());
+    let mut data = Vec::new();
+    source.read_to_end(&mut data)?;
+    if data.len() < 18 + 256 * 8 + 8 {
+        return Err(bad("truncated checkpoint"));
+    }
+    if data[..4] != CHECKPOINT_MAGIC {
+        return Err(bad("bad checkpoint magic"));
+    }
+    let version = u16::from_le_bytes([data[4], data[5]]);
+    if version != CHECKPOINT_VERSION {
+        return Err(bad(&format!("unsupported checkpoint version {version}")));
+    }
+    let body_end = data.len() - 8;
+    let mut sum = Fletcher64::default();
+    sum.update(&data[..body_end]);
+    let expect = u64::from_le_bytes(data[body_end..].try_into().expect("8 bytes"));
+    if sum.finish() != expect {
+        return Err(bad("checkpoint checksum mismatch"));
+    }
+    let points = usize::from(u16::from_le_bytes([data[6], data[7]]));
+    let model = LastRoundModel {
+        ct_byte: usize::from(data[8]),
+        bit: data[9],
+    };
+    let traces = u64::from_le_bytes(data[10..18].try_into().expect("8 bytes"));
+    let expected_len = 18 + 256 * 8 + (256 * points + points) * 8 + 8;
+    if data.len() != expected_len {
+        return Err(bad(&format!(
+            "checkpoint length {} != expected {expected_len} for {points} points",
+            data.len()
+        )));
+    }
+    let mut off = 18;
+    let mut bin_count = Vec::with_capacity(256);
+    for _ in 0..256 {
+        bin_count.push(u64::from_le_bytes(
+            data[off..off + 8].try_into().expect("8 bytes"),
+        ));
+        off += 8;
+    }
+    let read_f64s = |off: &mut usize, n: usize| -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f64::from_le_bytes(
+                data[*off..*off + 8].try_into().expect("8 bytes"),
+            ));
+            *off += 8;
+        }
+        out
+    };
+    let bin_sum = read_f64s(&mut off, 256 * points);
+    let sum_sq = read_f64s(&mut off, points);
+    Ok(CpaCheckpoint {
+        model,
+        points,
+        bin_count,
+        bin_sum,
+        sum_sq,
+        traces,
+    })
+}
+
 /// Replays a stored campaign into a [`crate::CpaAttack`] — the offline
 /// re-analysis path.
 pub fn replay_into(records: &[TraceRecord], attack: &mut crate::CpaAttack) {
@@ -306,6 +430,45 @@ mod tests {
         let mut badv = bytes;
         badv[4] = 99;
         assert!(read_traces(&badv[..]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes() {
+        let key = [3u8; 16];
+        let model = LastRoundModel::paper_target();
+        let mut rng = Rng64::new(21);
+        let mut attack = CpaAttack::new(model, 3);
+        for _ in 0..500 {
+            let mut pt = [0u8; 16];
+            rng.fill_bytes(&mut pt);
+            let ct = soft::encrypt(&key, &pt);
+            attack.add_trace(&ct, &[rng.normal(), rng.normal(), rng.normal()]);
+        }
+        let cp = attack.checkpoint();
+        let mut bytes = Vec::new();
+        write_checkpoint(&mut bytes, &cp).unwrap();
+        let back = read_checkpoint(&bytes[..]).unwrap();
+        assert_eq!(back, cp);
+        let resumed = CpaAttack::resume(back).unwrap();
+        assert_eq!(resumed, attack);
+        assert_eq!(resumed.correlations(), attack.correlations());
+    }
+
+    #[test]
+    fn checkpoint_corruption_detected() {
+        let attack = CpaAttack::new(LastRoundModel::paper_target(), 2);
+        let mut bytes = Vec::new();
+        write_checkpoint(&mut bytes, &attack.checkpoint()).unwrap();
+        for pos in [0usize, 5, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                read_checkpoint(&bad[..]).is_err(),
+                "corruption at byte {pos} undetected"
+            );
+        }
+        assert!(read_checkpoint(&bytes[..bytes.len() - 3]).is_err());
+        assert!(read_checkpoint(&b"SLMC"[..]).is_err());
     }
 
     #[test]

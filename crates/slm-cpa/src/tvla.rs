@@ -145,7 +145,10 @@ mod tests {
         };
         let t_small = gen(500);
         let t_big = gen(8000);
-        assert!(t_big > 2.0 * t_small, "t must grow ~√n: {t_small} vs {t_big}");
+        assert!(
+            t_big > 2.0 * t_small,
+            "t must grow ~√n: {t_small} vs {t_big}"
+        );
     }
 
     #[test]

@@ -68,8 +68,7 @@ impl BenignCircuit {
                 let mut reset = words::limbs_to_bits(&[0, 0, 0], 192);
                 reset.extend(words::limbs_to_bits(&[0, 0, 0], 192));
                 reset.extend(AluOp::Add.opcode_bits());
-                let mut measure =
-                    words::limbs_to_bits(&[u64::MAX, u64::MAX, u64::MAX], 192);
+                let mut measure = words::limbs_to_bits(&[u64::MAX, u64::MAX, u64::MAX], 192);
                 measure.extend(words::limbs_to_bits(&[1, 0, 0], 192));
                 measure.extend(AluOp::Add.opcode_bits());
                 Ok(BuiltCircuit {

@@ -1,7 +1,131 @@
-//! Fabric error type.
+//! Fabric error types.
 
 use std::error::Error;
 use std::fmt;
+
+/// A typed transport fault on the UART path.
+///
+/// Every variant carries enough context to act on it, and
+/// [`TransportError::retryable`] classifies whether a host-side driver
+/// should re-issue the request (transient wire noise) or give up
+/// (exhausted retry budget). This is what lets a capture campaign
+/// survive an adversarially noisy link: the campaign driver retries the
+/// retryable faults and quarantines the rest, instead of aborting on
+/// the first glitch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The receive buffer holds a plausible frame prefix but not yet a
+    /// complete frame: wait for more bytes. `need` is the total frame
+    /// length implied by the header so far.
+    Incomplete {
+        /// Bytes currently buffered.
+        have: usize,
+        /// Bytes required for a complete frame (lower bound while the
+        /// header itself is incomplete).
+        need: usize,
+    },
+    /// The first buffered byte is not the sync marker; the decoder
+    /// skips to the next candidate sync byte.
+    Desync {
+        /// Bytes discarded while searching for the next sync byte.
+        skipped: usize,
+    },
+    /// A header declared a payload longer than the protocol allows —
+    /// corrupt header, not a frame to wait for.
+    FrameTooLong {
+        /// The declared payload length.
+        len: usize,
+    },
+    /// Frame arrived complete but its CRC-16 check failed.
+    CrcMismatch {
+        /// CRC computed over the received header + payload.
+        expected: u16,
+        /// CRC carried by the frame.
+        got: u16,
+    },
+    /// No response frame arrived for a request (lost or stalled frame).
+    NoResponse,
+    /// A response arrived with the wrong sequence number — a stale
+    /// retransmission or a silent desync.
+    SeqMismatch {
+        /// Sequence number of the outstanding request.
+        expected: u8,
+        /// Sequence number the response carried.
+        got: u8,
+    },
+    /// A frame passed CRC but its payload does not parse as a valid
+    /// protocol message.
+    MalformedResponse {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A response parsed but failed semantic validation (e.g. the
+    /// ciphertext disagrees with the reference AES model) — a silently
+    /// corrupted trace that must be quarantined, not analyzed.
+    ValidationFailed {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The retry budget is spent; `last` is the final attempt's fault.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The fault that killed the final attempt.
+        last: Box<TransportError>,
+    },
+}
+
+impl TransportError {
+    /// Whether a driver should re-issue the request after this fault.
+    ///
+    /// Everything except an exhausted retry budget is retryable: wire
+    /// noise ([`Self::CrcMismatch`], [`Self::Desync`],
+    /// [`Self::FrameTooLong`]), losses ([`Self::NoResponse`]), stale or
+    /// desynchronized responses ([`Self::SeqMismatch`],
+    /// [`Self::MalformedResponse`], [`Self::ValidationFailed`]), and
+    /// [`Self::Incomplete`] (which simply means "wait").
+    pub fn retryable(&self) -> bool {
+        !matches!(self, TransportError::RetriesExhausted { .. })
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Incomplete { have, need } => {
+                write!(f, "incomplete frame: have {have} bytes, need {need}")
+            }
+            TransportError::Desync { skipped } => {
+                write!(f, "lost sync, skipped {skipped} bytes")
+            }
+            TransportError::FrameTooLong { len } => {
+                write!(f, "corrupt header: declared payload of {len} bytes")
+            }
+            TransportError::CrcMismatch { expected, got } => {
+                write!(
+                    f,
+                    "CRC mismatch: computed {expected:#06x}, frame carried {got:#06x}"
+                )
+            }
+            TransportError::NoResponse => write!(f, "no response frame"),
+            TransportError::SeqMismatch { expected, got } => {
+                write!(f, "sequence mismatch: expected {expected}, got {got}")
+            }
+            TransportError::MalformedResponse { detail } => {
+                write!(f, "malformed response: {detail}")
+            }
+            TransportError::ValidationFailed { detail } => {
+                write!(f, "trace validation failed: {detail}")
+            }
+            TransportError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl Error for TransportError {}
 
 /// Errors raised while assembling or running the fabric simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,13 +140,25 @@ pub enum FabricError {
         /// Requested frequency, MHz.
         requested_mhz: f64,
     },
-    /// A UART frame failed its checksum or framing.
-    Transport(String),
+    /// A UART transport fault; see [`TransportError`] for the taxonomy
+    /// and retry classification.
+    Transport(TransportError),
     /// Trace capture overflowed the BRAM and `strict` capture is on.
     CaptureOverflow {
         /// Configured capture depth.
         depth: usize,
     },
+}
+
+impl FabricError {
+    /// Whether the operation may succeed if simply re-issued — true
+    /// only for retryable transport faults.
+    pub fn retryable(&self) -> bool {
+        match self {
+            FabricError::Transport(t) => t.retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for FabricError {
@@ -33,7 +169,7 @@ impl fmt::Display for FabricError {
             FabricError::UnachievableClock { requested_mhz } => {
                 write!(f, "MMCM cannot synthesize {requested_mhz} MHz")
             }
-            FabricError::Transport(msg) => write!(f, "transport error: {msg}"),
+            FabricError::Transport(e) => write!(f, "transport error: {e}"),
             FabricError::CaptureOverflow { depth } => {
                 write!(f, "BRAM capture overflow (depth {depth})")
             }
@@ -46,6 +182,7 @@ impl Error for FabricError {
         match self {
             FabricError::Circuit(e) => Some(e),
             FabricError::Timing(e) => Some(e),
+            FabricError::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -63,6 +200,12 @@ impl From<slm_timing::TimingError> for FabricError {
     }
 }
 
+impl From<TransportError> for FabricError {
+    fn from(e: TransportError) -> Self {
+        FabricError::Transport(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +218,35 @@ mod tests {
         assert!(e.to_string().contains("17.3"));
         let e: FabricError = slm_timing::TimingError::CyclicNetlist.into();
         assert!(e.source().is_some());
+        let e: FabricError = TransportError::NoResponse.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(TransportError::NoResponse.retryable());
+        assert!(TransportError::CrcMismatch {
+            expected: 1,
+            got: 2
+        }
+        .retryable());
+        assert!(TransportError::Desync { skipped: 5 }.retryable());
+        assert!(TransportError::SeqMismatch {
+            expected: 0,
+            got: 1
+        }
+        .retryable());
+        assert!(TransportError::ValidationFailed {
+            detail: "ct".into()
+        }
+        .retryable());
+        let fatal = TransportError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(TransportError::NoResponse),
+        };
+        assert!(!fatal.retryable());
+        assert!(!FabricError::from(fatal).retryable());
+        assert!(!FabricError::CaptureOverflow { depth: 1 }.retryable());
+        assert!(FabricError::from(TransportError::NoResponse).retryable());
     }
 }

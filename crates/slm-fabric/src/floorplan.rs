@@ -193,9 +193,7 @@ impl Floorplan {
             }
             out.push('\n');
         }
-        out.push_str(
-            "legend: b=benign logic  S=sensitive endpoint  T=TDC  A=AES  r=RO  .=empty\n",
-        );
+        out.push_str("legend: b=benign logic  S=sensitive endpoint  T=TDC  A=AES  r=RO  .=empty\n");
         out
     }
 
@@ -392,7 +390,12 @@ mod tests {
     fn ppm_render_shape_and_colors() {
         let mut fp = Floorplan::new(4, 2);
         fp.column(
-            Rect { x: 0, y: 0, w: 1, h: 2 },
+            Rect {
+                x: 0,
+                y: 0,
+                w: 1,
+                h: 2,
+            },
             CellKind::Tdc,
             2,
         );

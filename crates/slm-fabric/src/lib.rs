@@ -42,6 +42,7 @@ mod bram;
 mod circuit;
 mod clock;
 mod error;
+mod faults;
 pub mod floorplan;
 mod remote;
 mod scenario;
@@ -50,10 +51,11 @@ mod uart;
 pub use bram::BramCapture;
 pub use circuit::{BenignCircuit, BuiltCircuit};
 pub use clock::{ClockSpec, Mmcm};
-pub use error::FabricError;
+pub use error::{FabricError, TransportError};
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
+pub use remote::{CampaignDriver, CampaignStats, QuarantinedTrace, RemoteSession, RetryPolicy};
 pub use scenario::{
     ActivityTrace, AesActivity, CaptureRecord, FabricConfig, FenceConfig, MultiTenantFabric,
     RoSchedule,
 };
-pub use remote::RemoteSession;
-pub use uart::{UartFrame, UartLink};
+pub use uart::{crc16, DecodeOutcome, LinkStats, UartFrame, UartLink};

@@ -59,8 +59,8 @@ impl Default for FabricConfig {
         FabricConfig {
             benign: BenignCircuit::Alu192,
             aes_key: [
-                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
-                0xcf, 0x4f, 0x3c,
+                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                0x4f, 0x3c,
             ],
             pdn: PdnConfig::default(),
             leakage: LeakageModel::default(),
@@ -518,7 +518,7 @@ mod tests {
         assert!(s.fraction_at(100) > 0.0 && s.fraction_at(100) < 1.0);
         assert_eq!(s.fraction_at(80 + 60), 1.0); // hold phase
         assert_eq!(s.fraction_at(80 + 74), 0.0); // off phase
-        // periodicity
+                                                 // periodicity
         assert_eq!(s.fraction_at(100), s.fraction_at(100 + 75));
     }
 

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use slm_aes::soft;
-use slm_fabric::{AesActivity, BenignCircuit, FabricConfig, MultiTenantFabric, UartFrame};
+use slm_fabric::{
+    AesActivity, BenignCircuit, CampaignDriver, DecodeOutcome, FabricConfig, FabricError,
+    FaultPlan, MultiTenantFabric, RemoteSession, TransportError, UartFrame, UartLink,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -57,26 +60,31 @@ proptest! {
         prop_assert_ne!(&r1.tdc, &r3.tdc);
     }
 
-    /// UART frames round-trip arbitrary payloads.
+    /// UART frames round-trip arbitrary payloads and sequence numbers.
     #[test]
-    fn uart_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let frame = UartFrame::new(payload.clone());
+    fn uart_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        seq in 0u8..=255,
+    ) {
+        let frame = UartFrame::new(seq, payload.clone());
         let wire = frame.encode();
         let (back, used) = UartFrame::decode(&wire).unwrap();
         prop_assert_eq!(back.payload, payload);
+        prop_assert_eq!(back.seq, seq);
         prop_assert_eq!(used, wire.len());
     }
 
     /// Any single flipped byte in a nonempty payload is detected (sync,
-    /// length or checksum), or re-parses as a strictly shorter frame —
-    /// never as silently corrupted same-length data.
+    /// header or CRC), or re-parses as a strictly shorter frame — never
+    /// as silently corrupted same-length data.
     #[test]
     fn uart_detects_single_byte_corruption(
         payload in proptest::collection::vec(any::<u8>(), 1..64),
+        seq in 0u8..=255,
         pos_seed in any::<u64>(),
         flip in 1u8..=255,
     ) {
-        let frame = UartFrame::new(payload.clone());
+        let frame = UartFrame::new(seq, payload.clone());
         let mut wire = frame.encode();
         let pos = (pos_seed as usize) % wire.len();
         wire[pos] ^= flip;
@@ -84,10 +92,122 @@ proptest! {
             Err(_) => {} // detected
             Ok((back, _)) => {
                 // a length-field corruption can reframe the stream; the
-                // decoded payload must then differ in length (the
-                // checksum protects same-length payload substitution)
+                // decoded payload must then differ in length (the CRC
+                // protects same-length payload substitution)
                 prop_assert_ne!(back.payload.len(), payload.len());
             }
+        }
+    }
+
+    /// The scanning decoder never panics and never hands back a
+    /// same-geometry corrupted payload, on arbitrarily mutated streams:
+    /// encode a batch of frames, splatter byte mutations over the
+    /// buffer, then scan to exhaustion. Every frame that comes out must
+    /// be byte-identical to one that went in (CRC-16 collisions on
+    /// random corruption are ~2^-16 per candidate; the deterministic
+    /// cases here contain none).
+    #[test]
+    fn scanner_survives_arbitrary_mutation(
+        payload_len in 0usize..48,
+        n_frames in 1usize..6,
+        n_mutations in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seed;
+        let mut next = move || {
+            // splitmix64 — deterministic per-case byte source
+            rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut sent = Vec::new();
+        let mut wire = Vec::new();
+        for i in 0..n_frames {
+            let payload: Vec<u8> = (0..payload_len).map(|_| next() as u8).collect();
+            let f = UartFrame::new(i as u8, payload);
+            wire.extend(f.encode());
+            sent.push(f);
+        }
+        for _ in 0..n_mutations {
+            if wire.is_empty() { break; }
+            let pos = (next() as usize) % wire.len();
+            wire[pos] ^= (next() as u8) | 1;
+        }
+        // Scan to exhaustion; must terminate and only yield sent frames.
+        let mut offset = 0usize;
+        let mut decoded = Vec::new();
+        while offset < wire.len() {
+            match UartFrame::scan(&wire[offset..]) {
+                DecodeOutcome::Frame { frame, consumed } => {
+                    decoded.push(frame);
+                    offset += consumed;
+                }
+                DecodeOutcome::NeedMore { .. } => break,
+                DecodeOutcome::Corrupt { skip, .. } => offset += skip.max(1),
+            }
+        }
+        for f in &decoded {
+            prop_assert!(
+                sent.contains(f),
+                "scanner fabricated a frame: {:?}", f
+            );
+        }
+    }
+
+    /// A `CampaignDriver` over any seeded fault plan yields, for every
+    /// request, either a validated record (correct ciphertext) or a
+    /// typed transport error — never a panic, never a silently wrong
+    /// trace.
+    #[test]
+    #[ignore = "slow: full fabric simulation per case; run with --ignored"]
+    fn campaign_driver_validated_or_typed_error(
+        seed in any::<u64>(),
+        rate_exp in 2.0f64..4.0,
+    ) {
+        let rate = 10f64.powf(-rate_exp); // 1e-4 ..= 1e-2 per byte
+        let config = FabricConfig {
+            benign: BenignCircuit::DualC6288,
+            ..FabricConfig::default()
+        };
+        let session = RemoteSession::with_fault_plan(
+            &config, vec![], FaultPlan::byte_noise(seed, rate),
+        ).unwrap();
+        let key = session.fabric().config().aes_key;
+        let mut driver = CampaignDriver::new(session);
+        for i in 0..8u8 {
+            let pt = [i.wrapping_mul(17) ^ (seed as u8); 16];
+            match driver.capture(pt) {
+                Ok(rec) => {
+                    prop_assert_eq!(rec.ciphertext, slm_aes::soft::encrypt(&key, &pt));
+                    prop_assert!(!rec.tdc.is_empty());
+                }
+                Err(FabricError::Transport(TransportError::RetriesExhausted { .. })) => {}
+                Err(other) => prop_assert!(false, "untyped failure: {}", other),
+            }
+        }
+    }
+
+    /// A link under arbitrary byte noise never delivers a corrupted
+    /// frame: whatever comes out of `host_recv` must be one of the
+    /// frames the FPGA actually sent.
+    #[test]
+    fn faulty_link_never_delivers_garbage(
+        seed in any::<u64>(),
+        rate_exp in 1.5f64..3.5,
+        n_frames in 1usize..20,
+    ) {
+        let rate = 10f64.powf(-rate_exp);
+        let mut link = UartLink::with_faults(921_600, FaultPlan::byte_noise(seed, rate));
+        let mut sent = Vec::new();
+        for i in 0..n_frames {
+            let f = UartFrame::new(i as u8, vec![i as u8; 24]);
+            link.fpga_send(&f);
+            sent.push(f);
+        }
+        while let Some(got) = link.host_recv() {
+            prop_assert!(sent.contains(&got), "link fabricated {:?}", got);
         }
     }
 

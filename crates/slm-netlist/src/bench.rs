@@ -93,7 +93,9 @@ pub fn parse(src: &str, name: &str) -> Result<Netlist, NetlistError> {
             continue;
         }
         // name = KIND(a, b, ...)
-        let eq = text.find('=').ok_or_else(|| err("expected `=` definition".into()))?;
+        let eq = text
+            .find('=')
+            .ok_or_else(|| err("expected `=` definition".into()))?;
         let lhs = text[..eq].trim().to_string();
         let rhs = text[eq + 1..].trim();
         if lhs.is_empty() {
@@ -178,7 +180,13 @@ pub fn parse(src: &str, name: &str) -> Result<Netlist, NetlistError> {
 pub fn write(nl: &Netlist) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# {}", nl.name());
-    let _ = writeln!(out, "# {} gates, {} inputs, {} outputs", nl.len(), nl.inputs().len(), nl.outputs().len());
+    let _ = writeln!(
+        out,
+        "# {} gates, {} inputs, {} outputs",
+        nl.len(),
+        nl.inputs().len(),
+        nl.outputs().len()
+    );
     let sig = |id: NetId| -> String {
         nl.net_name(id)
             .map(str::to_string)
@@ -204,7 +212,13 @@ pub fn write(nl: &Netlist) -> String {
         }
         let kw = g.kind.bench_name().expect("non-input kinds have keywords");
         let args: Vec<String> = g.fanin.iter().map(|&f| sig(f)).collect();
-        let _ = writeln!(out, "{} = {}({})", sig(NetId(i as u32)), kw, args.join(", "));
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            sig(NetId(i as u32)),
+            kw,
+            args.join(", ")
+        );
     }
     for (oname, onet) in aliases {
         let _ = writeln!(out, "{oname} = BUFF({})", sig(onet));

@@ -89,7 +89,9 @@ impl NetlistBuilder {
     /// Declares `width` primary inputs named `prefix[0]..prefix[width-1]`,
     /// least-significant first.
     pub fn input_bus(&mut self, prefix: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{prefix}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{prefix}[{i}]")))
+            .collect()
     }
 
     /// Adds an anonymous gate.
@@ -98,7 +100,12 @@ impl NetlistBuilder {
     }
 
     /// Adds a named gate.
-    pub fn named_gate(&mut self, name: impl Into<String>, kind: GateKind, fanin: &[NetId]) -> NetId {
+    pub fn named_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanin: &[NetId],
+    ) -> NetId {
         self.push(kind, fanin.to_vec(), Some(name.into()))
     }
 
@@ -191,7 +198,13 @@ impl NetlistBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
-        Netlist::from_parts(self.name, self.gates, self.inputs, self.outputs, self.net_names)
+        Netlist::from_parts(
+            self.name,
+            self.gates,
+            self.inputs,
+            self.outputs,
+            self.net_names,
+        )
     }
 }
 
@@ -224,7 +237,10 @@ mod tests {
         let _ = b.gate(GateKind::And, &[a]); // arity violation
         assert!(matches!(
             b.finish(),
-            Err(NetlistError::BadArity { kind: GateKind::And, got: 1 })
+            Err(NetlistError::BadArity {
+                kind: GateKind::And,
+                got: 1
+            })
         ));
     }
 

@@ -66,7 +66,11 @@ impl AluOp {
 
     /// Reference (software) semantics over `width`-bit operands.
     pub fn reference(self, a: u128, b: u128, width: usize) -> u128 {
-        let mask = if width >= 128 { u128::MAX } else { (1 << width) - 1 };
+        let mask = if width >= 128 {
+            u128::MAX
+        } else {
+            (1 << width) - 1
+        };
         let r = match self {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
@@ -138,7 +142,11 @@ pub fn alu(width: usize) -> Result<Netlist, NetlistError> {
         let f_or = bld.or2(a[i], b[i]);
         let f_xor = bld.xor2(a[i], b[i]);
         let f_nor = bld.nor2(a[i], b[i]);
-        let f_shl = if i == 0 { bld.buf(zero) } else { bld.buf(a[i - 1]) };
+        let f_shl = if i == 0 {
+            bld.buf(zero)
+        } else {
+            bld.buf(a[i - 1])
+        };
         let f_pass = bld.buf(a[i]);
         // 8:1 mux, opcode order: add, sub, and, or, xor, nor, shl, pass
         let m0 = bld.mux2(op0, sum[i], sum[i]); // add/sub share the chain

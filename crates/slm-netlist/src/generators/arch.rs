@@ -246,7 +246,7 @@ pub fn kogge_stone_adder(n: usize) -> Result<Netlist, NetlistError> {
     let mut g: Vec<NetId> = (0..n).map(|i| bld.and2(a[i], b[i])).collect();
     let mut p: Vec<NetId> = (0..n).map(|i| bld.xor2(a[i], b[i])).collect();
     let p0 = p.clone(); // sum needs the original propagate bits
-    // prefix levels: (g, p)[i] ∘ (g, p)[i - 2^k]
+                        // prefix levels: (g, p)[i] ∘ (g, p)[i - 2^k]
     let mut dist = 1;
     while dist < n {
         let mut ng = g.clone();

@@ -180,7 +180,9 @@ impl Netlist {
             }
         }
         let mut order = Vec::with_capacity(n);
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut head = 0;
         while head < queue.len() {
             let u = queue[head];
@@ -252,7 +254,11 @@ impl Netlist {
     /// Evaluates the primary outputs for one input pattern.
     pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
         let values = self.eval_all(inputs)?;
-        Ok(self.outputs.iter().map(|&(_, id)| values[id.index()]).collect())
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&(_, id)| values[id.index()])
+            .collect())
     }
 
     /// Evaluates all nets for 64 patterns at once (bit `k` of each word is
@@ -285,7 +291,11 @@ impl Netlist {
     /// Evaluates the primary outputs for 64 patterns at once.
     pub fn eval_parallel(&self, inputs: &[u64]) -> Result<Vec<u64>, NetlistError> {
         let values = self.eval_all_parallel(inputs)?;
-        Ok(self.outputs.iter().map(|&(_, id)| values[id.index()]).collect())
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&(_, id)| values[id.index()])
+            .collect())
     }
 
     /// Places several netlists side by side in one netlist, with no
@@ -314,10 +324,7 @@ impl Netlist {
                 gates.push(Gate::new(g.kind, fanin));
             }
             for k in 0..part.len() {
-                net_names.push(
-                    part.net_name(NetId(k as u32))
-                        .map(|n| format!("u{i}_{n}")),
-                );
+                net_names.push(part.net_name(NetId(k as u32)).map(|n| format!("u{i}_{n}")));
             }
             inputs.extend(part.inputs().iter().map(|&p| NetId(p.0 + base)));
             outputs.extend(
@@ -402,7 +409,10 @@ mod tests {
         let err = nl.eval(&[true]).unwrap_err();
         assert!(matches!(
             err,
-            NetlistError::InputCountMismatch { expected: 3, got: 1 }
+            NetlistError::InputCountMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
     }
 
@@ -454,7 +464,10 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let gates = vec![Gate::new(GateKind::Input, vec![]), Gate::new(GateKind::Input, vec![])];
+        let gates = vec![
+            Gate::new(GateKind::Input, vec![]),
+            Gate::new(GateKind::Input, vec![]),
+        ];
         let err = Netlist::from_parts(
             "dup",
             gates,

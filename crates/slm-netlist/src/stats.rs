@@ -42,17 +42,19 @@ impl Netlist {
         let mut level = vec![0usize; self.len()];
         for &id in order {
             let g = self.gate(id);
-            if matches!(g.kind, GateKind::Input | GateKind::Const0 | GateKind::Const1) {
+            if matches!(
+                g.kind,
+                GateKind::Input | GateKind::Const0 | GateKind::Const1
+            ) {
                 continue;
             }
-            level[id.index()] = 1 + g
-                .fanin
-                .iter()
-                .map(|f| level[f.index()])
-                .max()
-                .unwrap_or(0);
+            level[id.index()] = 1 + g.fanin.iter().map(|f| level[f.index()]).max().unwrap_or(0);
         }
-        let output_levels = self.outputs().iter().map(|&(_, o)| level[o.index()]).collect();
+        let output_levels = self
+            .outputs()
+            .iter()
+            .map(|&(_, o)| level[o.index()])
+            .collect();
         Ok(DepthProfile {
             level,
             output_levels,

@@ -46,8 +46,7 @@ pub fn propagate_constants(nl: &Netlist) -> Result<(Netlist, PassStats), Netlist
             GateKind::Const1 => Some(true),
             GateKind::Input => None,
             kind => {
-                let vals: Vec<Option<bool>> =
-                    g.fanin.iter().map(|f| konst[f.index()]).collect();
+                let vals: Vec<Option<bool>> = g.fanin.iter().map(|f| konst[f.index()]).collect();
                 match kind {
                     GateKind::And | GateKind::Nand => {
                         if vals.contains(&Some(false)) {
@@ -69,9 +68,7 @@ pub fn propagate_constants(nl: &Netlist) -> Result<(Netlist, PassStats), Netlist
                     }
                     GateKind::Xor | GateKind::Xnor => {
                         if vals.iter().all(Option::is_some) {
-                            let parity = vals
-                                .iter()
-                                .fold(false, |acc, v| acc ^ v.unwrap_or(false));
+                            let parity = vals.iter().fold(false, |acc, v| acc ^ v.unwrap_or(false));
                             Some(parity ^ (kind == GateKind::Xnor))
                         } else {
                             None

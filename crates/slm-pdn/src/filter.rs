@@ -36,7 +36,8 @@ impl SecondOrderFilter {
     /// new output.
     #[inline]
     pub fn step(&mut self, u: f64, dt: f64) -> f64 {
-        let acc = self.omega_n * self.omega_n * (u - self.y) - 2.0 * self.zeta * self.omega_n * self.y_dot;
+        let acc = self.omega_n * self.omega_n * (u - self.y)
+            - 2.0 * self.zeta * self.omega_n * self.y_dot;
         self.y_dot += dt * acc;
         self.y += dt * self.y_dot;
         // Flush-to-zero: once settled, the state decays into denormal

@@ -75,9 +75,7 @@ impl Pdn {
     pub fn step(&mut self, current_a: f64, dt: f64) -> f64 {
         let target_droop = self.config.r_eff * current_a;
         let droop = self.filter.step(target_droop, dt);
-        self.last_v = self.config.v_nominal
-            - droop
-            - self.config.r_fast * current_a
+        self.last_v = self.config.v_nominal - droop - self.config.r_fast * current_a
             + self.rng.normal_scaled(self.config.noise_sigma_v);
         self.last_v
     }
@@ -137,11 +135,7 @@ impl MultiRegionPdn {
     /// Uniformly coupled regions (all off-diagonal entries `k`).
     pub fn uniform(config: PdnConfig, regions: usize, k: f64) -> Self {
         let coupling = (0..regions)
-            .map(|r| {
-                (0..regions)
-                    .map(|s| if r == s { 1.0 } else { k })
-                    .collect()
-            })
+            .map(|r| (0..regions).map(|s| if r == s { 1.0 } else { k }).collect())
             .collect();
         Self::new(config, regions, coupling)
     }
@@ -172,8 +166,7 @@ impl MultiRegionPdn {
             for (s, &d) in self.droop_scratch.iter().enumerate() {
                 total += self.coupling[r][s] * d;
             }
-            *v = self.config.v_nominal - total
-                + self.rng.normal_scaled(self.config.noise_sigma_v);
+            *v = self.config.v_nominal - total + self.rng.normal_scaled(self.config.noise_sigma_v);
         }
         &self.voltages
     }

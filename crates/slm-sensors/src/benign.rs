@@ -199,7 +199,9 @@ impl BenignSensor {
                 // enough to matter; far from any edge the captured value
                 // is deterministic and the draw would be wasted.
                 let t_int = t_nominal.max(0.0) as u64;
-                let k = w.transitions.partition_point(|&(t, _)| (t as f64) < t_nominal);
+                let k = w
+                    .transitions
+                    .partition_point(|&(t, _)| (t as f64) < t_nominal);
                 let near = {
                     let before = if k > 0 {
                         t_nominal - w.transitions[k - 1].0 as f64
@@ -214,8 +216,8 @@ impl BenignSensor {
                     before.min(after) <= jitter_band_fs
                 };
                 if near && self.config.jitter_sigma_ps > 0.0 {
-                    let t_jit = t_nominal
-                        + self.rng.normal_scaled(self.config.jitter_sigma_ps * 1000.0);
+                    let t_jit =
+                        t_nominal + self.rng.normal_scaled(self.config.jitter_sigma_ps * 1000.0);
                     w.sampled_at(t_jit.max(0.0) as u64)
                 } else {
                     w.sampled_at(t_int)
@@ -259,8 +261,8 @@ impl BenignSensor {
                     f64::INFINITY
                 };
                 if before.min(after) <= jitter_band_fs && self.config.jitter_sigma_ps > 0.0 {
-                    let t_jit = t_nominal
-                        + self.rng.normal_scaled(self.config.jitter_sigma_ps * 1000.0);
+                    let t_jit =
+                        t_nominal + self.rng.normal_scaled(self.config.jitter_sigma_ps * 1000.0);
                     w.sampled_at(t_jit.max(0.0) as u64)
                 } else {
                     w.sampled_at(t_nominal.max(0.0) as u64)

@@ -80,8 +80,8 @@ impl TdcSensor {
     /// Samples the thermometer depth (0..=stages) at supply voltage `v`.
     pub fn sample(&mut self, v: f64) -> u32 {
         let s = self.config.law.scale(v);
-        let remaining =
-            self.config.window_ps - self.config.coarse_ps * s + self.rng.normal_scaled(self.config.jitter_ps);
+        let remaining = self.config.window_ps - self.config.coarse_ps * s
+            + self.rng.normal_scaled(self.config.jitter_ps);
         let depth = (remaining / (self.config.tap_ps * s)).floor();
         depth.clamp(0.0, self.config.stages as f64) as u32
     }

@@ -62,8 +62,7 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// A uniform draw in `[0, 1)` from a hash of `(seed, tag)`.
 fn unit(seed: u64, tag: u64) -> f64 {
-    (splitmix64(seed ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 11) as f64
-        / (1u64 << 53) as f64
+    (splitmix64(seed ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl DelayModel {

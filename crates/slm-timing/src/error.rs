@@ -28,7 +28,10 @@ impl fmt::Display for TimingError {
                 write!(f, "netlist is cyclic; timing analysis requires a DAG")
             }
             TimingError::StimulusMismatch { expected, got } => {
-                write!(f, "stimulus has {got} bits but the netlist has {expected} inputs")
+                write!(
+                    f,
+                    "stimulus has {got} bits but the netlist has {expected} inputs"
+                )
             }
             TimingError::AnnotationMismatch => {
                 write!(f, "delay annotation does not match this netlist")
@@ -46,7 +49,10 @@ mod tests {
     #[test]
     fn display() {
         assert!(TimingError::CyclicNetlist.to_string().contains("cyclic"));
-        let e = TimingError::StimulusMismatch { expected: 4, got: 2 };
+        let e = TimingError::StimulusMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4'));
     }
 }

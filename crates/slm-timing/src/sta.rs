@@ -71,15 +71,11 @@ impl StaResult {
             .iter()
             .map(|&(_, o)| min_arrival[o.index()])
             .collect();
-        let critical_net = nl
-            .outputs()
-            .iter()
-            .map(|&(_, o)| o)
-            .max_by(|&a, &b| {
-                arrival[a.index()]
-                    .partial_cmp(&arrival[b.index()])
-                    .expect("arrival times are finite")
-            });
+        let critical_net = nl.outputs().iter().map(|&(_, o)| o).max_by(|&a, &b| {
+            arrival[a.index()]
+                .partial_cmp(&arrival[b.index()])
+                .expect("arrival times are finite")
+        });
         Ok(StaResult {
             arrival_ps: arrival,
             min_arrival_ps: min_arrival,
@@ -133,10 +129,7 @@ impl StaResult {
     /// Measured to the primary outputs, which model register inputs in
     /// this combinational abstraction.
     pub fn critical_ps(&self) -> f64 {
-        self.output_arrivals
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
+        self.output_arrivals.iter().copied().fold(0.0, f64::max)
     }
 
     /// Maximum clock frequency implied by the critical path, MHz.

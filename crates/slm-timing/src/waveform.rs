@@ -97,13 +97,11 @@ impl TransitionWaves {
         output_nets
             .iter()
             .map(|&o| {
-                taken[o as usize]
-                    .take()
-                    .unwrap_or_else(|| Waveform {
-                        // An output listed twice: clone-equivalent fallback.
-                        initial: false,
-                        transitions: Vec::new(),
-                    })
+                taken[o as usize].take().unwrap_or_else(|| Waveform {
+                    // An output listed twice: clone-equivalent fallback.
+                    initial: false,
+                    transitions: Vec::new(),
+                })
             })
             .collect()
     }
@@ -167,9 +165,7 @@ pub fn simulate_transition(
             },
         });
     }
-    let initial = nl
-        .eval_all(reset)
-        .map_err(|_| TimingError::CyclicNetlist)?;
+    let initial = nl.eval_all(reset).map_err(|_| TimingError::CyclicNetlist)?;
     // CSR fanout with edge indices.
     let n = nl.len();
     let mut fanout_start = vec![0u32; n + 1];
@@ -238,11 +234,12 @@ pub fn simulate_transition(
     }
     let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut payload: Vec<Ev> = Vec::new();
-    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>, payload: &mut Vec<Ev>, t: u64, ev: Ev| {
-        let seq = payload.len() as u64;
-        payload.push(ev);
-        heap.push(Reverse((t, seq)));
-    };
+    let push =
+        |heap: &mut BinaryHeap<Reverse<(u64, u64)>>, payload: &mut Vec<Ev>, t: u64, ev: Ev| {
+            let seq = payload.len() as u64;
+            payload.push(ev);
+            heap.push(Reverse((t, seq)));
+        };
 
     for (k, &pi) in nl.inputs().iter().enumerate() {
         if measure[k] != reset[k] {

@@ -30,23 +30,14 @@ fn main() {
     // 2. Full key recovery through the TDC: the end-to-end attack the
     //    single-byte CPA implies.
     println!("\n== full 16-byte key recovery via TDC (30k traces) ==");
-    let r = full_key_recovery(
-        BenignCircuit::Alu192,
-        SensorSource::TdcAll,
-        30_000,
-        100,
-        2,
-    )
-    .expect("fabric builds");
+    let r = full_key_recovery(BenignCircuit::Alu192, SensorSource::TdcAll, 30_000, 100, 2)
+        .expect("fabric builds");
     println!(
         "correct bytes: {}/16   ranks: {:?}",
         r.correct_bytes, r.ranks
     );
     if r.master_key_correct {
-        println!(
-            "MASTER KEY RECOVERED: {:02x?}",
-            r.recovered_master_key
-        );
+        println!("MASTER KEY RECOVERED: {:02x?}", r.recovered_master_key);
     } else {
         println!(
             "partial recovery; round key so far: {:02x?}",

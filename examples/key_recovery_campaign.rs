@@ -82,7 +82,10 @@ fn main() {
             start.elapsed(),
         );
         if ok {
-            print!("{}", report::correlation_panel(&r.final_peaks, r.correct_key_byte));
+            print!(
+                "{}",
+                report::correlation_panel(&r.final_peaks, r.correct_key_byte)
+            );
         }
         summary.push((label, ok, r.mtd, traces));
     }

@@ -23,8 +23,14 @@ fn main() {
     );
     let tdc: Vec<f64> = resp.tdc.iter().map(|&d| f64::from(d)).collect();
     let hw: Vec<f64> = resp.hw_sensitive.iter().map(|&h| f64::from(h)).collect();
-    print!("{}", report::series_table("TDC depth (red series)", "sample", "depth", &tdc[..60]));
-    print!("{}", report::series_table("benign HW (blue series)", "sample", "hw", &hw[..60]));
+    print!(
+        "{}",
+        report::series_table("TDC depth (red series)", "sample", "depth", &tdc[..60])
+    );
+    print!(
+        "{}",
+        report::series_table("benign HW (blue series)", "sample", "hw", &hw[..60])
+    );
 
     // 2. A miniature CPA campaign through the TDC (paper Fig. 9).
     println!("\n== CPA on AES via the TDC (Fig. 9, reduced scale) ==");

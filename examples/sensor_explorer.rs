@@ -54,9 +54,11 @@ fn main() {
             arch.sweep_ps.len()
         );
     }
-    println!("  (serial carry structures are usable at almost any overclock;
+    println!(
+        "  (serial carry structures are usable at almost any overclock;
    flat ones only in a narrow band around their own critical path)
-");
+"
+    );
 
     println!("== ATPG stimulus search (Section VI) ==");
     let study = atpg_stimulus_study(16, 40, 3).expect("adder builds");

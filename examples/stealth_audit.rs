@@ -14,7 +14,11 @@ fn main() {
     let audit = stealth_audit().expect("circuits build");
     println!("{:<18} {:>8}  findings", "design", "verdict");
     for (name, report, is_attack) in &audit.rows {
-        let verdict = if report.is_clean() { "CLEAN" } else { "FLAGGED" };
+        let verdict = if report.is_clean() {
+            "CLEAN"
+        } else {
+            "FLAGGED"
+        };
         println!(
             "{name:<18} {verdict:>8}  {}",
             report
@@ -30,10 +34,7 @@ fn main() {
             "structural checking must flag exactly the known-bad designs"
         );
     }
-    println!(
-        "\nstealth demonstrated: {}",
-        audit.stealth_demonstrated()
-    );
+    println!("\nstealth demonstrated: {}", audit.stealth_demonstrated());
 
     println!("\n== strict timing check (the only working defence) ==");
     let timing = timing_audit(5.2).expect("circuits build");
@@ -48,7 +49,11 @@ fn main() {
             row.fmax_mhz,
             row.meets_synth_clock,
             row.meets_overclock,
-            if row.strict_check_fires { "FIRES" } else { "silent" }
+            if row.strict_check_fires {
+                "FIRES"
+            } else {
+                "silent"
+            }
         );
     }
 

@@ -3,8 +3,7 @@
 
 use slm_aes::soft;
 use slm_core::experiments::{
-    activity_study, ro_response, run_cpa, stealth_audit, timing_audit, CpaExperiment,
-    SensorSource,
+    activity_study, ro_response, run_cpa, stealth_audit, timing_audit, CpaExperiment, SensorSource,
 };
 use slm_cpa::{BitActivity, CpaAttack, LastRoundModel, PostProcessor};
 use slm_fabric::{
@@ -98,11 +97,8 @@ fn ro_burst_reaches_both_sensors_in_same_run() {
     let mut fabric = MultiTenantFabric::new(&config).unwrap();
     let schedule = RoSchedule::paper_4mhz();
     let trace = fabric.run_activity(Some(&schedule), AesActivity::Idle, 300);
-    let quiet_tdc: f64 =
-        trace.tdc[..30].iter().map(|&d| f64::from(d)).sum::<f64>() / 30.0;
-    let droop_sample = (0..trace.tdc.len())
-        .min_by_key(|&i| trace.tdc[i])
-        .unwrap();
+    let quiet_tdc: f64 = trace.tdc[..30].iter().map(|&d| f64::from(d)).sum::<f64>() / 30.0;
+    let droop_sample = (0..trace.tdc.len()).min_by_key(|&i| trace.tdc[i]).unwrap();
     assert!(
         f64::from(trace.tdc[droop_sample]) < quiet_tdc - 5.0,
         "TDC must dip"
@@ -141,7 +137,11 @@ fn key_recovery_through_the_uart_transport() {
     let attack = attack.unwrap();
     assert_eq!(attack.best_candidate().0, k10[3], "key recovered over UART");
     // the campaign has a real wire-time cost
-    assert!(session.wire_time_s() > 1.0, "wire time {}", session.wire_time_s());
+    assert!(
+        session.wire_time_s() > 1.0,
+        "wire time {}",
+        session.wire_time_s()
+    );
 }
 
 #[test]

@@ -15,7 +15,10 @@ fn fig05_fig06_alu_tracks_ro_bursts() {
     // quiet lead-in, then fluctuation (Fig. 5 shape)
     let quiet: u32 = r.toggle_counts[..35].iter().sum();
     let active: u32 = r.toggle_counts[45..].iter().sum();
-    assert!(active > 3 * quiet.max(1), "active {active} vs quiet {quiet}");
+    assert!(
+        active > 3 * quiet.max(1),
+        "active {active} vs quiet {quiet}"
+    );
     // Fig. 6: HW of sensitive bits anti-tracks delay (tracks TDC): when
     // the TDC dips, the ALU HW must move too. Use droop vs quiet means.
     let tdc_min_at = (0..r.tdc.len()).min_by_key(|&i| r.tdc[i]).unwrap();
@@ -163,14 +166,7 @@ fn section6_atpg_extension() {
 
 #[test]
 fn extension_full_key_recovery_via_tdc() {
-    let r = full_key_recovery(
-        BenignCircuit::Alu192,
-        SensorSource::TdcAll,
-        25_000,
-        60,
-        29,
-    )
-    .unwrap();
+    let r = full_key_recovery(BenignCircuit::Alu192, SensorSource::TdcAll, 25_000, 60, 29).unwrap();
     assert!(r.correct_bytes >= 14, "{:?}", r.ranks);
     if r.correct_bytes == 16 {
         assert!(r.master_key_correct);

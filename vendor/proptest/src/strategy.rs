@@ -1,0 +1,99 @@
+//! The strategy trait and the range/constant strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values for one property-test parameter.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).pick(rng)
+    }
+}
+
+/// String literals act as regex strategies in real proptest. This shim
+/// supports the one form the workspace uses — `.{m,n}`, producing `m..=n`
+/// arbitrary printable characters — and falls back to yielding the
+/// pattern itself verbatim for anything else.
+impl Strategy for str {
+    type Value = String;
+    fn pick(&self, rng: &mut TestRng) -> String {
+        let Some((lo, hi)) = parse_dot_repeat(self) else {
+            return self.to_string();
+        };
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                // Mostly ASCII with occasional wider code points, so
+                // parsers see both byte soup and multi-byte UTF-8.
+                match rng.below(8) {
+                    0 => char::from_u32(0x20 + rng.below(0x2480) as u32).unwrap_or('?'),
+                    _ => (0x20 + rng.below(0x5f) as u8) as char,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Parses `.{m,n}` into `(m, n)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);

@@ -1,0 +1,176 @@
+//! The JSON value tree that [`crate::Serialize`] lowers into, plus the
+//! text renderers used by the vendored `serde_json`.
+
+use std::fmt::Write as _;
+
+/// An owned JSON value.
+///
+/// Object keys keep insertion order (they come straight from struct
+/// field order), matching what `serde_json` produces for derived
+/// structs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; non-finite values render as `null` (JSON cannot
+    /// represent them), matching `serde_json`'s default behavior.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders without whitespace: `{"a":7}`.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation, matching
+    /// `serde_json::to_string_pretty`.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(v) => out.push_str(&render_f64(*v)),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    val.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+/// Formats a float the way `serde_json` does for the values this
+/// workspace produces: integral finite values keep a trailing `.0`, and
+/// non-finite values become `null`.
+fn render_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Value::Null.render_compact(), "null");
+        assert_eq!(Value::Bool(true).render_compact(), "true");
+        assert_eq!(Value::U64(7).render_compact(), "7");
+        assert_eq!(Value::I64(-3).render_compact(), "-3");
+        assert_eq!(Value::F64(1.5).render_compact(), "1.5");
+        assert_eq!(Value::F64(2.0).render_compact(), "2.0");
+        assert_eq!(Value::F64(f64::NAN).render_compact(), "null");
+    }
+
+    #[test]
+    fn renders_pretty_object() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::U64(7)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::F64(1.5), Value::F64(2.5)]),
+            ),
+        ]);
+        let text = v.render_pretty();
+        assert!(text.contains("\"a\": 7"));
+        assert!(text.starts_with("{\n  "));
+        assert!(text.contains("    1.5"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::String("a\"b\\c\nd".to_string());
+        assert_eq!(v.render_compact(), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,188 @@
+//! Vendored minimal `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements exactly the serde surface the workspace uses: a
+//! [`Serialize`] trait that lowers values into an in-memory JSON value
+//! tree (rendered by the vendored `serde_json`), a no-op
+//! [`Deserialize`] marker trait, and the two derive macros re-exported
+//! from `serde_derive`.
+//!
+//! It is **not** a general serde replacement: there is no data-model
+//! abstraction, no serializer plumbing, and deserialization is a
+//! compile-time marker only.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Types that can lower themselves into a [`json::Value`] tree.
+///
+/// The canonical serde trait is generic over serializers; every use in
+/// this workspace ultimately targets JSON, so this vendored version
+/// fixes the output model to [`json::Value`].
+pub trait Serialize {
+    /// Lowers `self` into a JSON value tree.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+///
+/// Nothing in the workspace deserializes at runtime; the derive exists
+/// so type definitions stay source-compatible with canonical serde.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::U64(u64::from(*self))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::U64(*self as u64)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::I64(i64::from(*self))
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::I64(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Object(vec![
+            ("start".to_string(), self.start.to_json_value()),
+            ("end".to_string(), self.end.to_json_value()),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    /// Keys are sorted so the rendered JSON is deterministic.
+    fn to_json_value(&self) -> json::Value {
+        let mut entries: Vec<(String, json::Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        json::Value::Object(entries)
+    }
+}

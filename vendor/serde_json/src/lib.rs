@@ -1,0 +1,103 @@
+//! Vendored minimal `serde_json`.
+//!
+//! Renders values implementing the vendored [`serde::Serialize`] trait
+//! to JSON text. Only the serialization entry points this workspace
+//! uses are provided.
+
+pub use serde::json::Value;
+
+use std::fmt;
+
+/// Serialization error.
+///
+/// The vendored value model can represent every serializable type in
+/// this workspace, so rendering is infallible in practice; the type
+/// exists so call sites keep the canonical `Result` signature.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for workspace types; see [`Error`].
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render_compact())
+}
+
+/// Serializes `value` to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for workspace types; see [`Error`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Sample {
+        a: u32,
+        b: Vec<f64>,
+        name: String,
+        flag: Option<bool>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Mixed {
+        Unit,
+        Newtype(u8),
+        Pair(u8, u8),
+        Named { x: f64 },
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Newtype(u32);
+
+    #[test]
+    fn derived_struct_renders() {
+        let s = Sample {
+            a: 7,
+            b: vec![1.5, 2.5],
+            name: "hi".to_string(),
+            flag: None,
+        };
+        let compact = super::to_string(&s).unwrap();
+        assert_eq!(compact, r#"{"a":7,"b":[1.5,2.5],"name":"hi","flag":null}"#);
+        let pretty = super::to_string_pretty(&s).unwrap();
+        assert!(pretty.contains("\"a\": 7"));
+    }
+
+    #[test]
+    fn derived_enum_renders() {
+        assert_eq!(super::to_string(&Mixed::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(
+            super::to_string(&Mixed::Newtype(3)).unwrap(),
+            r#"{"Newtype":3}"#
+        );
+        assert_eq!(
+            super::to_string(&Mixed::Pair(1, 2)).unwrap(),
+            r#"{"Pair":[1,2]}"#
+        );
+        assert_eq!(
+            super::to_string(&Mixed::Named { x: 0.5 }).unwrap(),
+            r#"{"Named":{"x":0.5}}"#
+        );
+    }
+
+    #[test]
+    fn newtype_renders_transparently() {
+        assert_eq!(super::to_string(&Newtype(9)).unwrap(), "9");
+    }
+}

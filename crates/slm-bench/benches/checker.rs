@@ -1,0 +1,48 @@
+//! Structural-scan throughput: the full generator zoo under the
+//! complete pipeline, plus the delay-line pass alone on chains up to
+//! 50 k stages. The scaling group is the regression guard for the
+//! fanout-index rewrite — the old per-net successor scan was quadratic,
+//! so doubling the chain length quadrupled its time; with the index the
+//! three sizes below must scale linearly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slm_checker::passes::DelayLinePass;
+use slm_checker::{CheckerConfig, PassManager};
+use slm_netlist::generators::{tdc_delay_line, zoo};
+use std::hint::black_box;
+
+fn zoo_scan(c: &mut Criterion) {
+    let pm = PassManager::structural();
+    let config = CheckerConfig::default();
+    let entries = zoo();
+    let nets: usize = entries.iter().map(|e| e.netlist.len()).sum();
+    let mut group = c.benchmark_group("checker");
+    group.throughput(Throughput::Elements(nets as u64));
+    group.bench_function("structural_scan_full_zoo", |b| {
+        b.iter(|| {
+            for e in &entries {
+                black_box(pm.run(black_box(&e.netlist), &config));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn delay_line_scaling(c: &mut Criterion) {
+    let mut pm = PassManager::empty();
+    pm.push(Box::new(DelayLinePass));
+    let config = CheckerConfig::default();
+    let mut group = c.benchmark_group("checker_chain_scaling");
+    group.sample_size(10);
+    for stages in [12_500usize, 25_000, 50_000] {
+        let nl = tdc_delay_line(stages).unwrap();
+        group.throughput(Throughput::Elements(nl.len() as u64));
+        group.bench_function(format!("delay_line_pass_{stages}_stages"), |b| {
+            b.iter(|| black_box(pm.run(black_box(&nl), &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, zoo_scan, delay_line_scaling);
+criterion_main!(benches);

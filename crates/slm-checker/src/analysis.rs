@@ -1,0 +1,61 @@
+//! Shared analysis context: everything more than one pass needs is
+//! computed once per scan.
+
+use slm_netlist::graph::{collapsed_drivers, combinational_loops, FanoutIndex};
+use slm_netlist::{NetId, Netlist};
+
+/// Precomputed per-netlist facts handed to every pass.
+///
+/// Building the context is O(nets + edges); passes then share the
+/// fanout index (the fix for the old per-chain-step gate rescans), the
+/// complete SCC loop list, and the buffer-collapsed driver map.
+pub struct Analysis<'a> {
+    nl: &'a Netlist,
+    fanout: FanoutIndex,
+    is_output: Vec<bool>,
+    collapsed: Vec<NetId>,
+    loops: Vec<Vec<NetId>>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Builds the context for `nl`.
+    pub fn new(nl: &'a Netlist) -> Self {
+        let mut is_output = vec![false; nl.len()];
+        for &(_, o) in nl.outputs() {
+            is_output[o.index()] = true;
+        }
+        Analysis {
+            fanout: FanoutIndex::build(nl),
+            is_output,
+            collapsed: collapsed_drivers(nl),
+            loops: combinational_loops(nl),
+            nl,
+        }
+    }
+
+    /// The netlist under analysis.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// The shared fanout adjacency index.
+    pub fn fanout(&self) -> &FanoutIndex {
+        &self.fanout
+    }
+
+    /// Whether `id` is a primary output.
+    pub fn is_output(&self, id: NetId) -> bool {
+        self.is_output[id.index()]
+    }
+
+    /// The nearest non-buffer driver of every net.
+    pub fn collapsed(&self) -> &[NetId] {
+        &self.collapsed
+    }
+
+    /// All combinational feedback loops (complete SCC membership),
+    /// ordered by smallest member net.
+    pub fn loops(&self) -> &[Vec<NetId>] {
+        &self.loops
+    }
+}

@@ -1,0 +1,16 @@
+//! `slm-scan`: scan tenant netlists with the structural pass framework
+//! and emit a JSON report.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match slm_checker::cli::run(&args) {
+        Ok((out, code)) => {
+            println!("{out}");
+            std::process::exit(code);
+        }
+        Err(err) => {
+            eprintln!("slm-scan: {err}");
+            std::process::exit(2);
+        }
+    }
+}

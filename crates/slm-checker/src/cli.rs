@@ -1,0 +1,269 @@
+//! The `slm-scan` command-line scanner.
+//!
+//! Thin, dependency-free argument handling around the pass framework;
+//! the binary in `src/bin/slm-scan.rs` is a three-line wrapper so the
+//! whole CLI stays unit-testable.
+
+use crate::config::CheckerConfig;
+use crate::diag::CheckReport;
+use crate::pass::PassManager;
+use crate::timing::check_timing;
+use serde::Serialize;
+use slm_netlist::generators::zoo;
+use slm_netlist::Netlist;
+use slm_timing::DelayModel;
+
+const USAGE: &str = "\
+slm-scan: structural static analysis of tenant netlists
+
+USAGE:
+    slm-scan --zoo [--assert-matrix]
+    slm-scan --generator NAME
+    slm-scan --bench FILE
+    slm-scan --list-passes
+
+OPTIONS:
+    --zoo              scan every design in the generator zoo
+    --assert-matrix    with --zoo: exit nonzero unless every malicious
+                       design is flagged and every benign design is clean
+    --generator NAME   scan one zoo design by name
+    --bench FILE       scan an ISCAS-85 .bench netlist
+    --clock-mhz F      additionally run the strict timing check at F MHz
+    --compact          emit compact JSON instead of pretty-printed
+    --list-passes      print the structural pass pipeline and exit";
+
+/// One scanned design in the JSON output.
+#[derive(Debug, Serialize)]
+struct ScanEntry {
+    name: String,
+    /// `Some` for zoo designs (malicious-by-construction or benign);
+    /// `None` for external `.bench` input.
+    malicious: Option<bool>,
+    clean: bool,
+    report: CheckReport,
+}
+
+/// Detection-matrix verdict (only with `--zoo --assert-matrix`).
+#[derive(Debug, Serialize)]
+struct MatrixVerdict {
+    holds: bool,
+    violations: Vec<String>,
+}
+
+/// Top-level JSON envelope emitted by `slm-scan`.
+#[derive(Debug, Serialize)]
+struct ScanOutput {
+    tool: String,
+    version: String,
+    passes: Vec<String>,
+    reports: Vec<ScanEntry>,
+    matrix: Option<MatrixVerdict>,
+}
+
+#[derive(Debug, Default)]
+struct Options {
+    zoo: bool,
+    assert_matrix: bool,
+    generator: Option<String>,
+    bench: Option<String>,
+    clock_mhz: Option<f64>,
+    compact: bool,
+    list_passes: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--zoo" => opts.zoo = true,
+            "--assert-matrix" => opts.assert_matrix = true,
+            "--compact" => opts.compact = true,
+            "--list-passes" => opts.list_passes = true,
+            "--generator" => {
+                opts.generator = Some(it.next().ok_or("--generator needs a design name")?.clone());
+            }
+            "--bench" => {
+                opts.bench = Some(it.next().ok_or("--bench needs a file path")?.clone());
+            }
+            "--clock-mhz" => {
+                let raw = it.next().ok_or("--clock-mhz needs a frequency")?;
+                let mhz: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--clock-mhz: not a number: {raw}"))?;
+                if !(mhz.is_finite() && mhz > 0.0) {
+                    return Err(format!("--clock-mhz: must be positive, got {raw}"));
+                }
+                opts.clock_mhz = Some(mhz);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument: {other}\n\n{USAGE}")),
+        }
+    }
+    let modes = usize::from(opts.zoo)
+        + usize::from(opts.generator.is_some())
+        + usize::from(opts.bench.is_some());
+    if !opts.list_passes && modes != 1 {
+        return Err(format!(
+            "exactly one of --zoo, --generator, --bench is required\n\n{USAGE}"
+        ));
+    }
+    if opts.assert_matrix && !opts.zoo {
+        return Err("--assert-matrix requires --zoo".to_string());
+    }
+    Ok(opts)
+}
+
+fn scan_one(
+    pm: &PassManager,
+    config: &CheckerConfig,
+    nl: &Netlist,
+    malicious: Option<bool>,
+    clock_mhz: Option<f64>,
+) -> ScanEntry {
+    let mut report = pm.run(nl, config);
+    if let Some(mhz) = clock_mhz {
+        let ann = DelayModel::default().annotate(nl);
+        report.findings.extend(check_timing(&ann, mhz).findings);
+    }
+    ScanEntry {
+        name: nl.name().to_owned(),
+        malicious,
+        clean: report.is_clean(),
+        report,
+    }
+}
+
+/// Runs the scanner. Returns the text to print on stdout and the
+/// process exit code; `Err` is a usage/IO error (exit code 2).
+pub fn run(args: &[String]) -> Result<(String, i32), String> {
+    let opts = parse_args(args)?;
+    let pm = PassManager::structural();
+    if opts.list_passes {
+        let listing: Vec<String> = pm
+            .passes()
+            .map(|p| format!("{:<20} {}", p.name(), p.description()))
+            .collect();
+        return Ok((listing.join("\n"), 0));
+    }
+    let config = CheckerConfig::default();
+    let mut reports = Vec::new();
+    if opts.zoo {
+        for entry in zoo() {
+            reports.push(scan_one(
+                &pm,
+                &config,
+                &entry.netlist,
+                Some(entry.malicious),
+                opts.clock_mhz,
+            ));
+        }
+    } else if let Some(name) = &opts.generator {
+        let entry = zoo()
+            .into_iter()
+            .find(|e| e.name == name.as_str())
+            .ok_or_else(|| {
+                let known: Vec<&str> = zoo().iter().map(|e| e.name).collect();
+                format!("unknown generator '{name}'; known: {}", known.join(", "))
+            })?;
+        reports.push(scan_one(
+            &pm,
+            &config,
+            &entry.netlist,
+            Some(entry.malicious),
+            opts.clock_mhz,
+        ));
+    } else if let Some(path) = &opts.bench {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let nl = slm_netlist::bench::parse(&src, path).map_err(|e| format!("{path}: {e}"))?;
+        reports.push(scan_one(&pm, &config, &nl, None, opts.clock_mhz));
+    }
+    // Exit semantics: plain scans fail on any dirty report; matrix
+    // assertion fails on any deviation from the expected verdicts.
+    let matrix = if opts.assert_matrix {
+        let mut violations = Vec::new();
+        for entry in &reports {
+            match entry.malicious {
+                Some(true) if entry.clean => {
+                    violations.push(format!("{}: malicious but passed every pass", entry.name));
+                }
+                Some(false) if !entry.clean => {
+                    violations.push(format!("{}: benign but flagged", entry.name));
+                }
+                _ => {}
+            }
+        }
+        Some(MatrixVerdict {
+            holds: violations.is_empty(),
+            violations,
+        })
+    } else {
+        None
+    };
+    let code = match &matrix {
+        Some(m) => i32::from(!m.holds),
+        None => i32::from(reports.iter().any(|r| !r.clean)),
+    };
+    let output = ScanOutput {
+        tool: "slm-scan".to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        passes: pm.pass_names().iter().map(|s| s.to_string()).collect(),
+        reports,
+        matrix,
+    };
+    let text = if opts.compact {
+        serde_json::to_string(&output)
+    } else {
+        serde_json::to_string_pretty(&output)
+    }
+    .expect("scan output serialization is infallible");
+    Ok((text, code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn zoo_matrix_holds_at_default_thresholds() {
+        let (out, code) = run(&argv(&["--zoo", "--assert-matrix"])).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"holds\": true"));
+    }
+
+    #[test]
+    fn single_generator_scan_flags_the_ro() {
+        let (out, code) = run(&argv(&["--generator", "ring_oscillator"])).unwrap();
+        assert_eq!(code, 1);
+        assert!(out.contains("combinational-loop") || out.contains("CombinationalLoop"));
+    }
+
+    #[test]
+    fn benign_generator_scan_is_clean_and_exit_zero() {
+        let (_, code) = run(&argv(&["--generator", "alu192"])).unwrap();
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(run(&argv(&[])).is_err());
+        assert!(run(&argv(&["--generator"])).is_err());
+        assert!(run(&argv(&["--assert-matrix"])).is_err());
+        assert!(run(&argv(&["--bogus"])).is_err());
+        assert!(run(&argv(&["--zoo", "--clock-mhz", "nope"])).is_err());
+        assert!(run(&argv(&["--generator", "no_such_design"])).is_err());
+    }
+
+    #[test]
+    fn list_passes_prints_the_pipeline() {
+        let (out, code) = run(&argv(&["--list-passes"])).unwrap();
+        assert_eq!(code, 0);
+        for name in PassManager::structural().pass_names() {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Checker configuration: one section per pass, plus the suppression
+//! (allowlist) rules.
+
+use crate::diag::{CheckKind, Finding, Severity};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for the SCC oscillation pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopConfig {
+    /// Maximum number of individual loop findings reported; a power
+    /// virus with thousands of RO cells collapses into this many
+    /// findings plus one summary line.
+    pub max_reported: usize,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig { max_reported: 16 }
+    }
+}
+
+/// Thresholds for the tapped delay-line pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayLineConfig {
+    /// Minimum tapped buffer-chain length considered a delay-line sensor.
+    pub min_stages: usize,
+    /// Minimum fraction of chain stages that must be observed (tapped)
+    /// for the chain to look like a sensor rather than pipelining.
+    pub min_tap_fraction: f64,
+}
+
+impl Default for DelayLineConfig {
+    fn default() -> Self {
+        DelayLineConfig {
+            min_stages: 16,
+            min_tap_fraction: 0.5,
+        }
+    }
+}
+
+/// Thresholds for the trivial-array (power virus) pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Minimum count of identical trivial cells considered a power-virus
+    /// array.
+    pub min_cells: usize,
+    /// Minimum fraction of the logic that must be trivial replicated
+    /// cells for the pass to fire.
+    pub min_trivial_fraction: f64,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig {
+            min_cells: 1000,
+            min_trivial_fraction: 0.9,
+        }
+    }
+}
+
+/// Thresholds for the opt-in observation-density heuristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationConfig {
+    /// Enable the over-aggressive observation-density heuristic.
+    pub enable: bool,
+    /// Output-to-gate ratio above which the heuristic fires.
+    pub density_threshold: f64,
+    /// Minimum gate count before the heuristic applies.
+    pub min_gates: usize,
+}
+
+impl Default for ObservationConfig {
+    fn default() -> Self {
+        ObservationConfig {
+            enable: false,
+            density_threshold: 0.12,
+            min_gates: 64,
+        }
+    }
+}
+
+/// Configuration for the clock-as-data pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// Input base names treated as clocks (matched case-insensitively,
+    /// with any trailing `[i]` bus index stripped).
+    pub clock_names: Vec<String>,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig {
+            clock_names: vec!["clk".into(), "clock".into(), "ck".into()],
+        }
+    }
+}
+
+/// Thresholds for the SCOAP-style sensor-likeness pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoapConfig {
+    /// Minimum logic depth of an endpoint before it can look sensor-like.
+    pub min_depth: usize,
+    /// Minimum depth-to-cone ratio: 1.0 is a pure chain, ordinary
+    /// arithmetic sits far below.
+    pub min_chain_ratio: f64,
+    /// Minimum number of sensor-like endpoints before any finding is
+    /// raised (protects single-output pipelines).
+    pub min_endpoints: usize,
+    /// Minimum fraction of all endpoints that must be sensor-like for
+    /// the `Warn` finding (below it, an `Info` note is emitted).
+    pub min_endpoint_fraction: f64,
+}
+
+impl Default for ScoapConfig {
+    fn default() -> Self {
+        ScoapConfig {
+            min_depth: 12,
+            min_chain_ratio: 0.8,
+            min_endpoints: 8,
+            min_endpoint_fraction: 0.5,
+        }
+    }
+}
+
+/// Thresholds for the subgraph-signature pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureConfig {
+    /// Minimum number of non-buffer stages for a loop to match the
+    /// ring-oscillator motif.
+    pub min_ring_stages: usize,
+    /// Minimum number of observed stages for the tapped delay-chain
+    /// motif.
+    pub min_chain_stages: usize,
+    /// Maximum number of unobserved non-buffer gates between two
+    /// consecutive observed stages of a tapped chain.
+    pub max_unobserved_gap: usize,
+    /// Maximum number of ring-motif findings reported individually.
+    pub max_reported: usize,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig {
+            min_ring_stages: 3,
+            min_chain_stages: 16,
+            max_unobserved_gap: 3,
+            max_reported: 16,
+        }
+    }
+}
+
+/// One allowlist rule. Every populated field must match for the rule to
+/// apply; `None` fields match anything.
+///
+/// Suppressions apply to `Info` and `Warn` findings only: a `Reject` is
+/// definitive structural evidence and is never hidden (enforced by the
+/// pass manager and covered by a property test).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Suppression {
+    /// Restrict to one finding category.
+    pub kind: Option<CheckKind>,
+    /// Restrict to findings raised by one pass (exact name).
+    pub pass: Option<String>,
+    /// Restrict to findings whose span mentions a net with this source
+    /// name.
+    pub net_name: Option<String>,
+    /// Why the finding is acceptable — recorded on the suppressed
+    /// finding.
+    pub reason: String,
+}
+
+impl Suppression {
+    /// Whether the rule matches `finding`. Severity is not consulted
+    /// here; the pass manager refuses to suppress `Reject` regardless.
+    pub fn matches(&self, finding: &Finding) -> bool {
+        if let Some(kind) = self.kind {
+            if finding.kind != kind {
+                return false;
+            }
+        }
+        if let Some(pass) = &self.pass {
+            if finding.pass != *pass {
+                return false;
+            }
+        }
+        if let Some(net) = &self.net_name {
+            let in_span = finding
+                .span
+                .iter()
+                .any(|s| s.name.as_deref() == Some(net.as_str()));
+            if !in_span {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Tunable thresholds for all passes, one section per pass.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CheckerConfig {
+    /// SCC oscillation pass.
+    pub loops: LoopConfig,
+    /// Tapped delay-line pass.
+    pub delay_line: DelayLineConfig,
+    /// Trivial-array (power virus) pass.
+    pub array: ArrayConfig,
+    /// Opt-in observation-density heuristic.
+    pub observation: ObservationConfig,
+    /// Clock-as-data pass.
+    pub clock: ClockConfig,
+    /// SCOAP-style sensor-likeness pass.
+    pub scoap: ScoapConfig,
+    /// Subgraph-signature pass.
+    pub signature: SignatureConfig,
+    /// Allowlist rules applied after all passes run.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Applies the suppression rules to a finding list. `Reject` findings
+/// are never suppressed.
+pub fn apply_suppressions(config: &CheckerConfig, findings: &mut [Finding]) {
+    for finding in findings {
+        if finding.severity >= Severity::Reject {
+            continue;
+        }
+        if let Some(rule) = config
+            .suppressions
+            .iter()
+            .find(|rule| rule.matches(finding))
+        {
+            finding.suppressed = Some(rule.reason.clone());
+        }
+    }
+}

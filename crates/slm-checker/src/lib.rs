@@ -1,29 +1,44 @@
-//! Structural netlist checking — the defensive screening that the
+//! Structural netlist analysis — the defensive screening that the
 //! paper's stealthy sensor is designed to evade.
 //!
 //! Cloud FPGA operators have proposed scanning tenant bitstreams for the
 //! circuit structures known to implement voltage sensors and power
 //! viruses (Krautter et al., TRETS 2019; La et al., "FPGADefender",
 //! TRETS 2020). This crate implements that style of checker over the
-//! workspace netlist IR:
+//! workspace netlist IR as a pass-manager-driven analysis framework:
 //!
-//! * [`CheckKind::CombinationalLoop`] — ring oscillators and other
-//!   self-oscillators,
-//! * [`CheckKind::DelayLineSensor`] — long buffer/inverter chains with
-//!   per-stage observation taps (TDC structure),
-//! * [`CheckKind::ExcessiveFanoutArray`] — huge arrays of identical
-//!   trivial cells (RO-grid power viruses),
-//! * [`CheckKind::TimingOverclock`] — the *strict timing check* the
-//!   paper's discussion concedes would catch logic misuse: verifying the
-//!   requested clock against STA (Section VI notes why operators are
-//!   unlikely to enforce it: false paths and vendor-IP constraints make
-//!   strict enforcement impractical on real designs).
+//! * a [`Pass`] trait and [`PassManager`] pipeline,
+//! * per-pass [`CheckerConfig`] sections with tunable thresholds,
+//! * tiered [`Severity`] (`Info`/`Warn`/`Reject`),
+//! * structured diagnostics ([`Finding`]) carrying witness nets and
+//!   machine-readable spans,
+//! * suppression/allowlist rules that can silence heuristic findings
+//!   but never a `Reject`,
+//! * JSON report serialization ([`CheckReport::to_json`]) for CI
+//!   consumption, emitted by the `slm-scan` binary.
 //!
-//! The headline result of the reproduction's stealth experiment: the RO
-//! array and the TDC netlists are flagged by the structural passes,
-//! while the ALU and C6288 sensors pass every structural check and are
-//! caught **only** by the timing pass — and only if the checker knows
-//! the tenant's requested clock.
+//! The structural pipeline ([`PassManager::structural`]) runs:
+//!
+//! * **comb-loop** — every combinational feedback loop with complete
+//!   SCC membership (ring oscillators and latch hacks),
+//! * **delay-line** — long, densely tapped buffer/inverter chains (the
+//!   TDC structure), linear-time via a shared fanout index,
+//! * **trivial-array** — huge arrays of replicated trivial cells
+//!   (RO-grid power viruses),
+//! * **clock-as-data** — clock inputs wired into combinational logic,
+//! * **scoap-sensor** — SCOAP-style controllability/observability
+//!   scoring of endpoint registers for "sensor-likeness",
+//! * **signature** — known-bad subgraph motifs (RO cell, tapped delay
+//!   chain) matched through interposed-buffer obfuscation,
+//! * **observation-density** — the opt-in, deliberately over-aggressive
+//!   output-density heuristic.
+//!
+//! The headline result of the reproduction's stealth experiment
+//! (`slm-core`'s detection matrix): every malicious-by-construction
+//! generator is flagged by at least one structural pass, while the ALU
+//! and C6288 sensors pass every structural check and are caught
+//! **only** by the strict timing pass ([`check_timing`]) — and only if
+//! the checker knows the tenant's requested clock.
 //!
 //! # Example
 //!
@@ -42,270 +57,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-use slm_netlist::{GateKind, NetId, Netlist};
-use slm_timing::AnnotatedDelays;
+mod analysis;
+pub mod cli;
+mod config;
+mod diag;
+mod pass;
+pub mod passes;
+mod timing;
 
-/// Categories of findings a checker can raise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[non_exhaustive]
-pub enum CheckKind {
-    /// A combinational feedback loop (self-oscillator).
-    CombinationalLoop,
-    /// A long buffer/inverter chain with dense observation taps.
-    DelayLineSensor,
-    /// A large array of near-identical trivial cells.
-    ExcessiveFanoutArray,
-    /// Requested clock exceeds the STA fmax (strict timing check).
-    TimingOverclock,
-    /// High observation density: an unusually large fraction of the
-    /// logic is tapped to outputs (sensor-like). **Opt-in and
-    /// deliberately over-aggressive** — it also flags ordinary adders,
-    /// demonstrating the paper's point that tightening structural
-    /// heuristics far enough to catch benign-logic sensors rejects
-    /// legitimate designs.
-    ObservationDensity,
-}
+pub use analysis::Analysis;
+pub use config::{
+    apply_suppressions, ArrayConfig, CheckerConfig, ClockConfig, DelayLineConfig, LoopConfig,
+    ObservationConfig, ScoapConfig, SignatureConfig, Suppression,
+};
+pub use diag::{span_of, CheckKind, CheckReport, Finding, Severity, SpanNet, MAX_SPAN_NETS};
+pub use pass::{Pass, PassManager};
+pub use timing::check_timing;
 
-/// One finding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Finding {
-    /// Category.
-    pub kind: CheckKind,
-    /// A net involved in the finding (loop witness, chain head, …).
-    pub witness: Option<NetId>,
-    /// Human-readable explanation.
-    pub detail: String,
-}
+use slm_netlist::Netlist;
 
-/// The verdict over one tenant netlist.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct CheckReport {
-    /// All findings, in pass order.
-    pub findings: Vec<Finding>,
-}
-
-impl CheckReport {
-    /// Whether no pass raised a finding.
-    pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
-    }
-
-    /// Whether a specific category was raised.
-    pub fn flagged(&self, kind: CheckKind) -> bool {
-        self.findings.iter().any(|f| f.kind == kind)
-    }
-}
-
-/// Tunable thresholds for the structural passes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct CheckerConfig {
-    /// Minimum tapped buffer-chain length considered a delay-line sensor.
-    pub delay_line_min_stages: usize,
-    /// Minimum fraction of chain stages that must be observed (tapped)
-    /// for the chain to look like a sensor rather than pipelining.
-    pub delay_line_min_tap_fraction: f64,
-    /// Minimum count of identical trivial cells considered a power-virus
-    /// array.
-    pub array_min_cells: usize,
-    /// Enable the over-aggressive observation-density heuristic.
-    pub enable_observation_heuristic: bool,
-    /// Output-to-gate ratio above which the observation heuristic fires.
-    pub observation_density_threshold: f64,
-    /// Minimum gate count before the observation heuristic applies.
-    pub observation_min_gates: usize,
-}
-
-impl Default for CheckerConfig {
-    fn default() -> Self {
-        CheckerConfig {
-            delay_line_min_stages: 16,
-            delay_line_min_tap_fraction: 0.5,
-            array_min_cells: 1000,
-            enable_observation_heuristic: false,
-            observation_density_threshold: 0.12,
-            observation_min_gates: 64,
-        }
-    }
-}
-
-/// Runs all structural passes with default thresholds.
+/// Runs the full structural pipeline with default thresholds.
 pub fn check_structure(nl: &Netlist) -> CheckReport {
     check_structure_with(nl, &CheckerConfig::default())
 }
 
-/// Runs all structural passes.
+/// Runs the full structural pipeline with explicit thresholds.
 pub fn check_structure_with(nl: &Netlist, config: &CheckerConfig) -> CheckReport {
-    let mut report = CheckReport::default();
-    pass_combinational_loop(nl, &mut report);
-    pass_delay_line(nl, config, &mut report);
-    pass_trivial_array(nl, config, &mut report);
-    if config.enable_observation_heuristic {
-        pass_observation_density(nl, config, &mut report);
-    }
-    report
-}
-
-fn pass_observation_density(nl: &Netlist, config: &CheckerConfig, report: &mut CheckReport) {
-    let gates = nl
-        .gates()
-        .iter()
-        .filter(|g| g.kind != GateKind::Input)
-        .count();
-    if gates < config.observation_min_gates {
-        return;
-    }
-    let density = nl.outputs().len() as f64 / gates as f64;
-    if density > config.observation_density_threshold {
-        report.findings.push(Finding {
-            kind: CheckKind::ObservationDensity,
-            witness: None,
-            detail: format!(
-                "{} of {gates} logic cells observed at outputs (density {density:.2})",
-                nl.outputs().len()
-            ),
-        });
-    }
-}
-
-/// The strict timing pass: flags a design whose requested clock beats
-/// its STA fmax. Needs the delay annotation and the tenant's clock
-/// request — information a structural bitstream scan does not have,
-/// which is exactly the gap the paper exploits.
-pub fn check_timing(ann: &AnnotatedDelays, requested_mhz: f64) -> CheckReport {
-    let mut report = CheckReport::default();
-    match ann.sta() {
-        Ok(sta) => {
-            if !sta.meets_timing(requested_mhz) {
-                report.findings.push(Finding {
-                    kind: CheckKind::TimingOverclock,
-                    witness: None,
-                    detail: format!(
-                        "requested {requested_mhz:.1} MHz exceeds fmax {:.1} MHz",
-                        sta.fmax_mhz()
-                    ),
-                });
-            }
-        }
-        Err(_) => report.findings.push(Finding {
-            kind: CheckKind::CombinationalLoop,
-            witness: None,
-            detail: "cyclic netlist: timing undefined".into(),
-        }),
-    }
-    report
-}
-
-fn pass_combinational_loop(nl: &Netlist, report: &mut CheckReport) {
-    if let Err(slm_netlist::NetlistError::CombinationalCycle { witness }) =
-        nl.topological_order().map(|_| ())
-    {
-        report.findings.push(Finding {
-            kind: CheckKind::CombinationalLoop,
-            witness: Some(witness),
-            detail: format!("combinational feedback through {witness}"),
-        });
-    }
-}
-
-fn pass_delay_line(nl: &Netlist, config: &CheckerConfig, report: &mut CheckReport) {
-    // Walk maximal chains of single-fanin BUF/NOT cells and count how
-    // many chain nets are primary outputs (taps).
-    let outputs: std::collections::HashSet<NetId> = nl.outputs().iter().map(|&(_, o)| o).collect();
-    let mut fanout = vec![0usize; nl.len()];
-    for g in nl.gates() {
-        for &f in &g.fanin {
-            fanout[f.index()] += 1;
-        }
-    }
-    let is_chain_cell = |id: NetId| {
-        matches!(nl.gate(id).kind, GateKind::Buf | GateKind::Not) && nl.gate(id).fanin.len() == 1
-    };
-    let mut visited = vec![false; nl.len()];
-    for start in 0..nl.len() {
-        let sid = NetId(start as u32);
-        if visited[start] || !is_chain_cell(sid) {
-            continue;
-        }
-        // Only start from chain heads (predecessor is not a chain cell).
-        let pred = nl.gate(sid).fanin[0];
-        if is_chain_cell(pred) {
-            continue;
-        }
-        // Follow the chain forward.
-        let mut chain = vec![sid];
-        visited[start] = true;
-        let mut cur = sid;
-        loop {
-            // successor: the unique chain cell fed by cur
-            let mut next = None;
-            for (gi, g) in nl.gates().iter().enumerate() {
-                if g.fanin.first() == Some(&cur)
-                    && g.fanin.len() == 1
-                    && is_chain_cell(NetId(gi as u32))
-                    && !visited[gi]
-                {
-                    next = Some(NetId(gi as u32));
-                    break;
-                }
-            }
-            match next {
-                Some(n) => {
-                    visited[n.index()] = true;
-                    chain.push(n);
-                    cur = n;
-                }
-                None => break,
-            }
-        }
-        if chain.len() >= config.delay_line_min_stages {
-            let taps = chain.iter().filter(|id| outputs.contains(id)).count();
-            let frac = taps as f64 / chain.len() as f64;
-            if frac >= config.delay_line_min_tap_fraction {
-                report.findings.push(Finding {
-                    kind: CheckKind::DelayLineSensor,
-                    witness: Some(chain[0]),
-                    detail: format!(
-                        "tapped delay line of {} stages ({} taps)",
-                        chain.len(),
-                        taps
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn pass_trivial_array(nl: &Netlist, config: &CheckerConfig, report: &mut CheckReport) {
-    // An RO-grid power virus replicates a tiny cell thousands of times;
-    // count NAND/NOT cells whose fanin includes themselves-via-short-loop
-    // is already caught by the loop pass, so here: sheer replication of
-    // 1-2 input cells with no other logic.
-    let trivial = nl
-        .gates()
-        .iter()
-        .filter(|g| {
-            matches!(g.kind, GateKind::Not | GateKind::Buf | GateKind::Nand) && g.fanin.len() <= 2
-        })
-        .count();
-    let total_logic = nl
-        .gates()
-        .iter()
-        .filter(|g| g.kind != GateKind::Input)
-        .count();
-    if trivial >= config.array_min_cells && trivial * 10 >= total_logic * 9 {
-        report.findings.push(Finding {
-            kind: CheckKind::ExcessiveFanoutArray,
-            witness: None,
-            detail: format!("{trivial} of {total_logic} cells are trivial replicated gates"),
-        });
-    }
+    PassManager::structural().run(nl, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slm_netlist::generators::{alu, array_multiplier, c17, ring_oscillator, tdc_delay_line};
+    use slm_netlist::generators::{
+        alu, array_multiplier, c17, clock_as_data, obfuscated_ring_oscillator,
+        obfuscated_tdc_delay_line, ring_oscillator, tapped_carry_chain, tdc_delay_line,
+    };
     use slm_netlist::{Gate, GateKind, NetId, Netlist};
     use slm_timing::DelayModel;
 
@@ -314,6 +101,15 @@ mod tests {
         let ro = ring_oscillator(12).unwrap();
         let r = check_structure(&ro);
         assert!(r.flagged(CheckKind::CombinationalLoop));
+        // the SCC pass reports the complete loop membership
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.kind == CheckKind::CombinationalLoop)
+            .unwrap();
+        assert_eq!(f.span.len(), 13, "NAND + 12 inverters");
+        assert_eq!(f.severity, Severity::Reject);
+        assert!(f.detail.contains("oscillates"));
     }
 
     #[test]
@@ -321,6 +117,7 @@ mod tests {
         let tdc = tdc_delay_line(64).unwrap();
         let r = check_structure(&tdc);
         assert!(r.flagged(CheckKind::DelayLineSensor), "{r:?}");
+        assert!(r.flagged(CheckKind::SensorLikeEndpoints), "{r:?}");
     }
 
     #[test]
@@ -359,6 +156,50 @@ mod tests {
     }
 
     #[test]
+    fn loop_reporting_is_capped_with_a_summary() {
+        let grid = slm_netlist::generators::ro_grid(50).unwrap();
+        let r = check_structure(&grid);
+        let loops: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.kind == CheckKind::CombinationalLoop)
+            .collect();
+        let cap = CheckerConfig::default().loops.max_reported;
+        assert_eq!(loops.len(), cap + 1, "cap + summary finding");
+        assert!(loops.last().unwrap().detail.contains("further"));
+    }
+
+    #[test]
+    fn obfuscated_specimens_are_caught_by_the_new_passes() {
+        // Interposed buffers defeat neither the SCC pass nor the
+        // signature matcher.
+        let ro = obfuscated_ring_oscillator(8).unwrap();
+        let r = check_structure(&ro);
+        assert!(r.flagged(CheckKind::CombinationalLoop));
+        assert!(r.flagged(CheckKind::KnownBadMotif), "{r:?}");
+
+        // The identity-gate TDC evades the plain delay-line matcher but
+        // not SCOAP or the tapped-chain signature.
+        let tdc = obfuscated_tdc_delay_line(48).unwrap();
+        let r = check_structure(&tdc);
+        assert!(!r.flagged(CheckKind::DelayLineSensor));
+        assert!(r.flagged(CheckKind::SensorLikeEndpoints), "{r:?}");
+        assert!(r.flagged(CheckKind::KnownBadMotif), "{r:?}");
+
+        // The carry-chain TDC is pure adder logic: only the signature
+        // matcher sees the tapped chain.
+        let carry = tapped_carry_chain(64).unwrap();
+        let r = check_structure(&carry);
+        assert!(r.flagged(CheckKind::KnownBadMotif), "{r:?}");
+
+        // Clock-as-data is its own pass.
+        let clk = clock_as_data(16).unwrap();
+        let r = check_structure(&clk);
+        assert!(r.flagged(CheckKind::ClockAsData), "{r:?}");
+        assert_eq!(r.max_severity(), Some(Severity::Reject));
+    }
+
+    #[test]
     fn benign_circuits_pass_structural_checks() {
         for nl in [alu(192).unwrap(), array_multiplier(16).unwrap(), c17()] {
             let r = check_structure(&nl);
@@ -373,7 +214,10 @@ mod tests {
         // ripple-carry adder — the paper's argument for why structural
         // screening cannot be tightened into a defence.
         let config = CheckerConfig {
-            enable_observation_heuristic: true,
+            observation: ObservationConfig {
+                enable: true,
+                ..ObservationConfig::default()
+            },
             ..CheckerConfig::default()
         };
         let rca = slm_netlist::generators::ripple_carry_adder(64).unwrap();
@@ -391,6 +235,42 @@ mod tests {
     }
 
     #[test]
+    fn suppression_silences_warn_but_never_reject() {
+        let rca = slm_netlist::generators::ripple_carry_adder(64).unwrap();
+        let config = CheckerConfig {
+            observation: ObservationConfig {
+                enable: true,
+                ..ObservationConfig::default()
+            },
+            suppressions: vec![Suppression {
+                kind: Some(CheckKind::ObservationDensity),
+                reason: "known-benign adder".into(),
+                ..Suppression::default()
+            }],
+            ..CheckerConfig::default()
+        };
+        let r = check_structure_with(&rca, &config);
+        assert!(r.is_clean(), "suppressed Warn no longer dirties: {r:?}");
+        assert!(
+            r.findings.iter().any(|f| f.suppressed.is_some()),
+            "the finding stays in the report for audit"
+        );
+
+        // A blanket suppression cannot hide a Reject.
+        let ro = ring_oscillator(8).unwrap();
+        let config = CheckerConfig {
+            suppressions: vec![Suppression {
+                reason: "attempted cover-up".into(),
+                ..Suppression::default()
+            }],
+            ..CheckerConfig::default()
+        };
+        let r = check_structure_with(&ro, &config);
+        assert!(!r.is_clean());
+        assert!(r.flagged(CheckKind::CombinationalLoop));
+    }
+
+    #[test]
     fn strict_timing_catches_the_overclock() {
         // The paper's discussion: only a strict timing check catches the
         // benign sensor — at 300 MHz, never at its synthesis clock.
@@ -402,6 +282,10 @@ mod tests {
         let r = check_timing(&ann, 300.0);
         assert!(r.flagged(CheckKind::TimingOverclock));
         assert!(r.findings[0].detail.contains("300.0 MHz"));
+        assert!(
+            !r.findings[0].span.is_empty(),
+            "overclock reports the critical path"
+        );
     }
 
     #[test]
@@ -410,5 +294,27 @@ mod tests {
         let ann = DelayModel::default().annotate(&ro);
         let r = check_timing(&ann, 100.0);
         assert!(r.flagged(CheckKind::CombinationalLoop));
+        // routed through the SCC pass: witness net and loop size present
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.kind == CheckKind::CombinationalLoop)
+            .unwrap();
+        assert!(f.witness.is_some());
+        assert_eq!(f.span.len(), 5, "NAND + 4 inverters");
+        assert!(f.detail.contains("5 nets"));
+    }
+
+    #[test]
+    fn pass_manager_is_composable() {
+        let mut pm = PassManager::empty();
+        pm.push(Box::new(passes::SccLoopPass));
+        assert_eq!(pm.pass_names(), vec!["comb-loop"]);
+        let tdc = tdc_delay_line(64).unwrap();
+        // only the loop pass runs: the TDC sails through
+        assert!(pm.run(&tdc, &CheckerConfig::default()).is_clean());
+        let names = PassManager::structural().pass_names();
+        assert_eq!(names.len(), 7);
+        assert!(names.contains(&"scoap-sensor") && names.contains(&"signature"));
     }
 }

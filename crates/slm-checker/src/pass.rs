@@ -1,0 +1,88 @@
+//! The pass abstraction and the manager that drives a scan.
+
+use crate::analysis::Analysis;
+use crate::config::{apply_suppressions, CheckerConfig};
+use crate::diag::{CheckReport, Finding};
+use crate::passes;
+use slm_netlist::Netlist;
+
+/// One structural analysis over a netlist.
+///
+/// Passes are stateless: all tunables come from the [`CheckerConfig`]
+/// section they own, and all shared graph facts from the [`Analysis`]
+/// context, so a [`PassManager`] can run any subset in any order.
+pub trait Pass {
+    /// Short stable identifier (used in findings, suppressions and the
+    /// detection matrix).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list-passes` style output.
+    fn description(&self) -> &'static str;
+
+    /// Runs the analysis, appending findings.
+    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>);
+}
+
+/// Runs an ordered set of passes over a netlist and assembles the
+/// report.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// A manager with no passes; use [`PassManager::push`] to compose a
+    /// custom pipeline.
+    pub fn empty() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// The full structural pipeline, in the order findings appear in
+    /// reports: loops, delay lines, trivial arrays, clock misuse,
+    /// SCOAP sensor-likeness, subgraph signatures, and the opt-in
+    /// observation-density heuristic.
+    pub fn structural() -> Self {
+        let mut pm = PassManager::empty();
+        pm.push(Box::new(passes::SccLoopPass));
+        pm.push(Box::new(passes::DelayLinePass));
+        pm.push(Box::new(passes::TrivialArrayPass));
+        pm.push(Box::new(passes::ClockAsDataPass));
+        pm.push(Box::new(passes::ScoapSensorPass));
+        pm.push(Box::new(passes::SignaturePass));
+        pm.push(Box::new(passes::ObservationDensityPass));
+        pm
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn push(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// The registered pass names, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// The registered passes.
+    pub fn passes(&self) -> impl Iterator<Item = &dyn Pass> {
+        self.passes.iter().map(Box::as_ref)
+    }
+
+    /// Scans `nl`: builds the shared [`Analysis`] once, runs every
+    /// pass, then applies the suppression rules (which never hide a
+    /// `Reject`).
+    pub fn run(&self, nl: &Netlist, config: &CheckerConfig) -> CheckReport {
+        let cx = Analysis::new(nl);
+        let mut report = CheckReport::for_netlist(nl);
+        for pass in &self.passes {
+            pass.run(&cx, config, &mut report.findings);
+        }
+        apply_suppressions(config, &mut report.findings);
+        report
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::structural()
+    }
+}

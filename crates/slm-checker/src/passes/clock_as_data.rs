@@ -1,0 +1,62 @@
+//! Clock-as-data detection.
+
+use crate::analysis::Analysis;
+use crate::config::CheckerConfig;
+use crate::diag::{span_of, CheckKind, Finding, Severity};
+use crate::pass::Pass;
+
+/// Strips a trailing `[index]` bus suffix and lowercases.
+fn base_name(name: &str) -> String {
+    let stem = match name.find('[') {
+        Some(i) if name.ends_with(']') => &name[..i],
+        _ => name,
+    };
+    stem.to_ascii_lowercase()
+}
+
+/// Flags clock inputs that drive combinational logic — the fourth
+/// structural check the paper names.
+///
+/// Routing a clock into LUT data inputs is the standard way to build a
+/// latch-based sensor or glitch generator without a combinational loop,
+/// so any fanout at all from a clock-named input into the gate network
+/// is rejected.
+pub struct ClockAsDataPass;
+
+impl Pass for ClockAsDataPass {
+    fn name(&self) -> &'static str {
+        "clock-as-data"
+    }
+
+    fn description(&self) -> &'static str {
+        "clock inputs used as combinational data signals"
+    }
+
+    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+        let nl = cx.netlist();
+        for &input in nl.inputs() {
+            let Some(name) = nl.net_name(input) else {
+                continue;
+            };
+            let base = base_name(name);
+            if !config.clock.clock_names.contains(&base) {
+                continue;
+            }
+            let drives = cx.fanout().degree(input);
+            if drives == 0 {
+                continue;
+            }
+            let driven: Vec<_> = cx.fanout().fanouts(input).to_vec();
+            findings.push(
+                Finding::new(
+                    CheckKind::ClockAsData,
+                    Severity::Reject,
+                    self.name(),
+                    format!("clock input '{name}' drives {drives} combinational gate inputs"),
+                )
+                .with_witness(input)
+                .with_span(span_of(nl, &driven)),
+            );
+        }
+    }
+}

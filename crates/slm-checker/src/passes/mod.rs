@@ -1,0 +1,17 @@
+//! The structural analyses.
+
+mod clock_as_data;
+mod delay_line;
+mod loops;
+mod observation;
+mod scoap;
+mod signature;
+mod trivial_array;
+
+pub use clock_as_data::ClockAsDataPass;
+pub use delay_line::DelayLinePass;
+pub use loops::SccLoopPass;
+pub use observation::ObservationDensityPass;
+pub use scoap::ScoapSensorPass;
+pub use signature::SignaturePass;
+pub use trivial_array::TrivialArrayPass;

@@ -1,0 +1,220 @@
+//! SCOAP-style controllability/observability scoring of endpoints.
+
+use crate::analysis::Analysis;
+use crate::config::CheckerConfig;
+use crate::diag::{span_of, CheckKind, Finding, Severity};
+use crate::pass::Pass;
+use slm_netlist::{GateKind, NetId, Netlist};
+
+/// Saturation ceiling for SCOAP scores (uncontrollable / unobservable).
+const INF: u64 = u64::MAX / 4;
+
+fn sat(a: u64, b: u64) -> u64 {
+    a.saturating_add(b).min(INF)
+}
+
+/// Combinational 0/1-controllability per net (Goldstein's SCOAP),
+/// computed over a topological order.
+fn controllability(nl: &Netlist, order: &[NetId]) -> (Vec<u64>, Vec<u64>) {
+    let n = nl.len();
+    let mut cc0 = vec![INF; n];
+    let mut cc1 = vec![INF; n];
+    for &v in order {
+        let g = nl.gate(v);
+        let f = |id: NetId| (cc0[id.index()], cc1[id.index()]);
+        let (c0, c1) = match g.kind {
+            GateKind::Input => (1, 1),
+            GateKind::Const0 => (1, INF),
+            GateKind::Const1 => (INF, 1),
+            GateKind::Buf => {
+                let (a0, a1) = f(g.fanin[0]);
+                (sat(a0, 1), sat(a1, 1))
+            }
+            GateKind::Not => {
+                let (a0, a1) = f(g.fanin[0]);
+                (sat(a1, 1), sat(a0, 1))
+            }
+            GateKind::And | GateKind::Nand => {
+                let all_one = g.fanin.iter().fold(0, |acc, &i| sat(acc, f(i).1));
+                let any_zero = g.fanin.iter().map(|&i| f(i).0).min().unwrap_or(INF);
+                if g.kind == GateKind::And {
+                    (sat(any_zero, 1), sat(all_one, 1))
+                } else {
+                    (sat(all_one, 1), sat(any_zero, 1))
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let all_zero = g.fanin.iter().fold(0, |acc, &i| sat(acc, f(i).0));
+                let any_one = g.fanin.iter().map(|&i| f(i).1).min().unwrap_or(INF);
+                if g.kind == GateKind::Or {
+                    (sat(all_zero, 1), sat(any_one, 1))
+                } else {
+                    (sat(any_one, 1), sat(all_zero, 1))
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                // Fold the parity pairwise: cost of even / odd parity.
+                let (mut e, mut o) = (0u64, INF);
+                for &i in &g.fanin {
+                    let (a0, a1) = f(i);
+                    let ne = sat(e, a0).min(sat(o, a1));
+                    let no = sat(e, a1).min(sat(o, a0));
+                    e = ne;
+                    o = no;
+                }
+                if g.kind == GateKind::Xor {
+                    (sat(e, 1), sat(o, 1))
+                } else {
+                    (sat(o, 1), sat(e, 1))
+                }
+            }
+        };
+        cc0[v.index()] = c0;
+        cc1[v.index()] = c1;
+    }
+    (cc0, cc1)
+}
+
+/// Combinational observability per net: cost of propagating the net's
+/// value to some primary output.
+fn observability(cx: &Analysis<'_>, order: &[NetId], cc0: &[u64], cc1: &[u64]) -> Vec<u64> {
+    let nl = cx.netlist();
+    let mut co = vec![INF; nl.len()];
+    for &(_, o) in nl.outputs() {
+        co[o.index()] = 0;
+    }
+    for &v in order.iter().rev() {
+        let g = nl.gate(v);
+        let through = co[v.index()];
+        if through >= INF {
+            continue;
+        }
+        for (i, &fi) in g.fanin.iter().enumerate() {
+            let side: u64 = g
+                .fanin
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &fj)| match g.kind {
+                    GateKind::And | GateKind::Nand => cc1[fj.index()],
+                    GateKind::Or | GateKind::Nor => cc0[fj.index()],
+                    _ => cc0[fj.index()].min(cc1[fj.index()]),
+                })
+                .fold(0, sat);
+            let cost = sat(sat(through, side), 1);
+            let slot = &mut co[fi.index()];
+            *slot = (*slot).min(cost);
+        }
+    }
+    co
+}
+
+/// Scores how sensor-like the endpoint registers of a design are.
+///
+/// A TDC endpoint sits at the end of a deep logic cone that is barely
+/// wider than it is deep (a chain), which in SCOAP terms means its
+/// controllability grows linearly with depth while every chain net
+/// stays cheaply observable. Ordinary arithmetic endpoints have wide
+/// cones — depth is a small fraction of cone size — so the
+/// depth-to-cone "chain ratio" cleanly separates the two. The pass
+/// fires `Warn` when enough endpoints look sensor-like, `Info` when
+/// only a sub-threshold group does.
+pub struct ScoapSensorPass;
+
+impl Pass for ScoapSensorPass {
+    fn name(&self) -> &'static str {
+        "scoap-sensor"
+    }
+
+    fn description(&self) -> &'static str {
+        "SCOAP-style sensor-likeness of endpoint registers"
+    }
+
+    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+        let nl = cx.netlist();
+        let Ok(order) = nl.topological_order() else {
+            return; // cyclic designs are rejected by the loop pass
+        };
+        if nl.outputs().is_empty() {
+            return;
+        }
+        // Logic depth per net.
+        let mut level = vec![0usize; nl.len()];
+        for &v in order {
+            let g = nl.gate(v);
+            if !matches!(
+                g.kind,
+                GateKind::Input | GateKind::Const0 | GateKind::Const1
+            ) {
+                level[v.index()] = 1 + g.fanin.iter().map(|f| level[f.index()]).max().unwrap_or(0);
+            }
+        }
+        let (cc0, cc1) = controllability(nl, order);
+        let co = observability(cx, order, &cc0, &cc1);
+        // Fanin-cone size per endpoint, via an epoch-stamped DFS.
+        let mut stamp = vec![0u32; nl.len()];
+        let mut epoch = 0u32;
+        let mut stack: Vec<NetId> = Vec::new();
+        let mut sensor_like: Vec<NetId> = Vec::new();
+        let mut depth_sum = 0usize;
+        let mut ctrl_sum = 0u64;
+        for &(_, o) in nl.outputs() {
+            let depth = level[o.index()];
+            if depth < config.scoap.min_depth {
+                continue;
+            }
+            epoch += 1;
+            let mut cone = 0usize;
+            stack.push(o);
+            stamp[o.index()] = epoch;
+            while let Some(v) = stack.pop() {
+                cone += 1;
+                for &f in &nl.gate(v).fanin {
+                    if stamp[f.index()] != epoch {
+                        stamp[f.index()] = epoch;
+                        stack.push(f);
+                    }
+                }
+            }
+            let ratio = depth as f64 / (cone.saturating_sub(1).max(1)) as f64;
+            if ratio >= config.scoap.min_chain_ratio {
+                sensor_like.push(o);
+                depth_sum += depth;
+                ctrl_sum = sat(ctrl_sum, cc0[o.index()].min(cc1[o.index()]));
+            }
+        }
+        if sensor_like.len() < config.scoap.min_endpoints {
+            return;
+        }
+        let total = nl.outputs().len();
+        let fraction = sensor_like.len() as f64 / total as f64;
+        let mean_depth = depth_sum as f64 / sensor_like.len() as f64;
+        let mean_ctrl = ctrl_sum as f64 / sensor_like.len() as f64;
+        let observable = co.iter().filter(|&&c| c < INF).count();
+        let severity = if fraction >= config.scoap.min_endpoint_fraction {
+            Severity::Warn
+        } else {
+            Severity::Info
+        };
+        let witness = sensor_like
+            .iter()
+            .copied()
+            .max_by_key(|o| level[o.index()])
+            .expect("nonempty");
+        findings.push(
+            Finding::new(
+                CheckKind::SensorLikeEndpoints,
+                severity,
+                self.name(),
+                format!(
+                    "{}/{total} endpoints are chain-shaped (mean depth {mean_depth:.0}, \
+                     mean controllability {mean_ctrl:.0}, {observable}/{} nets observable)",
+                    sensor_like.len(),
+                    nl.len(),
+                ),
+            )
+            .with_witness(witness)
+            .with_span(span_of(nl, &sensor_like)),
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The strict timing check.
+
+use crate::analysis::Analysis;
+use crate::config::CheckerConfig;
+use crate::diag::{span_of, CheckKind, CheckReport, Finding, Severity};
+use crate::pass::Pass;
+use crate::passes::SccLoopPass;
+use slm_timing::AnnotatedDelays;
+
+/// The strict timing pass: flags a design whose requested clock beats
+/// its STA fmax. Needs the delay annotation and the tenant's clock
+/// request — information a structural bitstream scan does not have,
+/// which is exactly the gap the paper exploits.
+///
+/// On a cyclic netlist (where STA is undefined) the verdict is routed
+/// through the SCC oscillation pass, so the report carries the loop
+/// witness nets and sizes instead of a bare "timing undefined".
+pub fn check_timing(ann: &AnnotatedDelays, requested_mhz: f64) -> CheckReport {
+    let nl = ann.netlist();
+    let mut report = CheckReport::for_netlist(nl);
+    match ann.sta() {
+        Ok(sta) => {
+            if !sta.meets_timing(requested_mhz) {
+                let path = sta.critical_path(nl);
+                let nets: Vec<_> = path.iter().map(|seg| seg.net).collect();
+                let mut finding = Finding::new(
+                    CheckKind::TimingOverclock,
+                    Severity::Reject,
+                    "timing",
+                    format!(
+                        "requested {requested_mhz:.1} MHz exceeds fmax {:.1} MHz \
+                         (critical path: {} nets, {:.0} ps)",
+                        sta.fmax_mhz(),
+                        nets.len(),
+                        sta.critical_ps(),
+                    ),
+                )
+                .with_span(span_of(nl, &nets));
+                finding.witness = nets.last().copied();
+                report.findings.push(finding);
+            }
+        }
+        Err(_) => {
+            let cx = Analysis::new(nl);
+            SccLoopPass.run(&cx, &CheckerConfig::default(), &mut report.findings);
+        }
+    }
+    report
+}

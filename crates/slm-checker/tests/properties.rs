@@ -3,13 +3,67 @@
 //! families, across their whole parameter ranges.
 
 use proptest::prelude::*;
-use slm_checker::{check_structure, check_timing, CheckKind};
+use slm_checker::{
+    check_structure, check_timing, CheckKind, CheckerConfig, PassManager, Severity, Suppression,
+};
 use slm_netlist::generators::{
     alu, array_multiplier, carry_lookahead_adder, carry_select_adder, equality_comparator,
     kogge_stone_adder, parity_tree, ring_oscillator, ripple_carry_adder, tdc_delay_line,
-    wallace_multiplier,
+    wallace_multiplier, zoo,
 };
 use slm_timing::DelayModel;
+
+/// A strategy over arbitrary suppression rules, including maximally
+/// greedy ones (all fields `None` matches every finding). The vendored
+/// proptest shim has no combinators, so this composes three `select`
+/// strategies by hand.
+struct SuppressionStrategy {
+    kinds: proptest::sample::Select<Option<CheckKind>>,
+    passes: proptest::sample::Select<Option<String>>,
+    nets: proptest::sample::Select<Option<String>>,
+}
+
+impl Strategy for SuppressionStrategy {
+    type Value = Suppression;
+    fn pick(&self, rng: &mut proptest::test_runner::TestRng) -> Suppression {
+        Suppression {
+            kind: self.kinds.pick(rng),
+            pass: self.passes.pick(rng),
+            net_name: self.nets.pick(rng),
+            reason: "proptest rule".to_string(),
+        }
+    }
+}
+
+fn any_suppression() -> SuppressionStrategy {
+    SuppressionStrategy {
+        kinds: proptest::sample::select(vec![
+            None,
+            Some(CheckKind::CombinationalLoop),
+            Some(CheckKind::DelayLineSensor),
+            Some(CheckKind::ExcessiveFanoutArray),
+            Some(CheckKind::ObservationDensity),
+            Some(CheckKind::ClockAsData),
+            Some(CheckKind::SensorLikeEndpoints),
+            Some(CheckKind::KnownBadMotif),
+        ]),
+        passes: proptest::sample::select(vec![
+            None,
+            Some("comb-loop".to_string()),
+            Some("delay-line".to_string()),
+            Some("trivial-array".to_string()),
+            Some("clock-as-data".to_string()),
+            Some("scoap-sensor".to_string()),
+            Some("signature".to_string()),
+        ]),
+        nets: proptest::sample::select(vec![
+            None,
+            Some("tdc_buf0".to_string()),
+            Some("ro_nand".to_string()),
+            Some("t[0]".to_string()),
+        ]),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -63,5 +117,37 @@ proptest! {
         let requested = fmax * f64::from(req_pct) / 100.0;
         let fired = check_timing(&ann, requested).flagged(CheckKind::TimingOverclock);
         prop_assert_eq!(fired, requested > fmax);
+    }
+
+    /// No set of suppression rules — however greedy — ever hides a
+    /// `Reject` finding: every malicious zoo design stays flagged, and
+    /// every `Reject` finding stays active in the report.
+    #[test]
+    fn suppression_never_hides_a_reject(
+        rules in proptest::collection::vec(any_suppression(), 0..8)
+    ) {
+        let config = CheckerConfig {
+            suppressions: rules,
+            ..CheckerConfig::default()
+        };
+        let pm = PassManager::structural();
+        for entry in zoo().iter().filter(|e| e.malicious) {
+            let report = pm.run(&entry.netlist, &config);
+            for f in &report.findings {
+                if f.severity >= Severity::Reject {
+                    prop_assert!(
+                        f.suppressed.is_none(),
+                        "{}: Reject finding suppressed: {:?}",
+                        entry.name,
+                        f
+                    );
+                }
+            }
+            prop_assert!(
+                !report.is_clean(),
+                "{}: suppressions laundered a malicious design",
+                entry.name
+            );
+        }
     }
 }

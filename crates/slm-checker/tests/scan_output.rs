@@ -1,0 +1,266 @@
+//! `slm-scan` emits machine-readable JSON; downstream tooling parses it
+//! with a real JSON parser, so the output must be *syntactically* valid
+//! JSON, not merely JSON-shaped. The vendored serializer has no parser,
+//! so this test brings its own minimal recursive-descent validator —
+//! it accepts exactly the RFC 8259 grammar and nothing more.
+
+use slm_checker::cli;
+
+/// A minimal JSON syntax validator. Returns the byte offset of the
+/// first syntax error, or `Ok(())` for a valid document.
+struct Validator<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Validator<'a> {
+    fn validate(text: &'a str) -> Result<(), usize> {
+        let mut v = Validator {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        v.skip_ws();
+        v.value()?;
+        v.skip_ws();
+        if v.pos != v.bytes.len() {
+            return Err(v.pos);
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), usize> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.pos)
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), usize> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.pos)
+        }
+    }
+
+    fn value(&mut self) -> Result<(), usize> {
+        match self.peek().ok_or(self.pos)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.pos),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), usize> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.pos),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), usize> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.pos),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), usize> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek().ok_or(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or(self.pos)? {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => self.pos += 1,
+                        b'u' => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
+                                    return Err(self.pos);
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(self.pos),
+                    }
+                }
+                0x00..=0x1f => return Err(self.pos),
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), usize> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek().ok_or(self.pos)? {
+            b'0' => self.pos += 1,
+            b'1'..=b'9' => self.digits()?,
+            _ => return Err(self.pos),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) -> Result<(), usize> {
+        if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            return Err(self.pos);
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+}
+
+fn assert_valid_json(text: &str, what: &str) {
+    if let Err(pos) = Validator::validate(text) {
+        let lo = pos.saturating_sub(40);
+        let hi = (pos + 40).min(text.len());
+        panic!(
+            "{what}: invalid JSON at byte {pos}: ...{}...",
+            &text[lo..hi]
+        );
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "01",
+        "1.",
+        "\"\\x\"",
+        "nul",
+        "[1] trailing",
+        "{\"a\":1,}",
+    ] {
+        assert!(Validator::validate(bad).is_err(), "accepted: {bad:?}");
+    }
+    for good in [
+        "null",
+        "-12.5e+3",
+        "[]",
+        "{\"a\": [1, \"b\\n\", {\"c\": true}], \"d\": null}",
+        "\"\\u00e9\"",
+    ] {
+        assert!(Validator::validate(good).is_ok(), "rejected: {good:?}");
+    }
+}
+
+#[test]
+fn zoo_scan_emits_valid_json() {
+    let (out, _code) =
+        cli::run(&["--zoo".to_string(), "--assert-matrix".to_string()]).expect("zoo scan must run");
+    assert_valid_json(&out, "slm-scan --zoo --assert-matrix");
+}
+
+#[test]
+fn single_generator_scan_emits_valid_json_compact_and_pretty() {
+    for extra in [None, Some("--compact")] {
+        let mut args = vec![
+            "--generator".to_string(),
+            "tdc_obfuscated".to_string(),
+            "--clock-mhz".to_string(),
+            "300".to_string(),
+        ];
+        if let Some(flag) = extra {
+            args.push(flag.to_string());
+        }
+        let (out, code) = cli::run(&args).expect("generator scan must run");
+        assert_eq!(code, 1, "a malicious design must exit dirty");
+        assert_valid_json(&out, "slm-scan --generator tdc_obfuscated");
+    }
+}
+
+#[test]
+fn golden_files_are_valid_json() {
+    for (name, text) in [
+        (
+            "ring_oscillator_6.json",
+            include_str!("golden/ring_oscillator_6.json"),
+        ),
+        (
+            "ripple_carry_adder_4.json",
+            include_str!("golden/ripple_carry_adder_4.json"),
+        ),
+        (
+            "tdc_delay_line_16_suppressed.json",
+            include_str!("golden/tdc_delay_line_16_suppressed.json"),
+        ),
+    ] {
+        assert_valid_json(text, name);
+    }
+}

@@ -7,6 +7,7 @@ mod cpa;
 mod extensions;
 mod fault_study;
 mod preliminary;
+mod stealth_matrix;
 
 pub use arch_study::{architecture_study, ArchRow, ArchStudy};
 pub use audits::{
@@ -22,4 +23,7 @@ pub use fault_study::{fault_study, FaultRow, FaultStudy, FaultStudyResult};
 pub use preliminary::{
     activity_study, bit_census, bit_variance, ro_response, ActivityStudy, CensusResult, RoResponse,
     VarianceResult,
+};
+pub use stealth_matrix::{
+    stealth_matrix, MatrixRow, StealthMatrix, OVERCLOCK_MHZ, SYNTH_CRITICAL_NS,
 };

@@ -16,6 +16,7 @@
 //! | Figs. 8/16 (per-bit variance) | [`experiments::bit_variance`] |
 //! | Figs. 9–13, 17, 18 (CPA) | [`experiments::run_cpa`] |
 //! | Stealth discussion (Sec. VI) | [`experiments::stealth_audit`] |
+//! | Structural-evasion matrix (Sec. VI) | [`experiments::stealth_matrix`] |
 //! | Strict-timing discussion (Sec. VI) | [`experiments::timing_audit`] |
 //! | ATPG extension (Sec. VI) | [`experiments::atpg_stimulus_study`] |
 //!
@@ -55,6 +56,6 @@ pub mod report;
 
 pub use experiments::{
     atpg_stimulus_study, bit_census, bit_variance, floorplan_views, ro_response, run_cpa,
-    stealth_audit, timing_audit, CensusResult, CpaExperiment, CpaResult, RoResponse, SensorSource,
-    StealthAudit, TimingAudit, VarianceResult,
+    stealth_audit, stealth_matrix, timing_audit, CensusResult, CpaExperiment, CpaResult,
+    RoResponse, SensorSource, StealthAudit, StealthMatrix, TimingAudit, VarianceResult,
 };

@@ -190,6 +190,24 @@ pub struct LinkStats {
     pub bytes_discarded: u64,
 }
 
+/// Per-direction sliding resync state: how much was buffered at the
+/// last poll, and the wire-time deadline by which the head frame must
+/// have completed.
+#[derive(Debug, Clone, Copy)]
+struct RxState {
+    buffered: usize,
+    deadline: u64,
+}
+
+impl Default for RxState {
+    fn default() -> Self {
+        RxState {
+            buffered: 0,
+            deadline: u64::MAX,
+        }
+    }
+}
+
 /// A bidirectional byte link with a finite baud rate and an optional
 /// fault injector standing on the wire.
 #[derive(Debug, Clone)]
@@ -200,9 +218,19 @@ pub struct UartLink {
     bytes_moved: u64,
     injector: Option<FaultInjector>,
     stats: LinkStats,
+    fpga_rx: RxState,
+    host_rx: RxState,
+    resync_timeout_bytes: u64,
 }
 
 impl UartLink {
+    /// Default resync timeout, in wire byte-slots: the time a maximum-
+    /// length frame takes to arrive. If the head of the buffer still
+    /// has not become a complete frame after this much wire time with
+    /// no new bytes, whatever it is, it is not a frame.
+    pub const DEFAULT_RESYNC_TIMEOUT_BYTES: u64 =
+        (UartFrame::HEADER_LEN + UartFrame::MAX_PAYLOAD + UartFrame::TRAILER_LEN) as u64;
+
     /// Creates a clean link at the given baud rate (10 bits per byte on
     /// the wire: start + 8 data + stop).
     pub fn new(baud: u64) -> Self {
@@ -213,7 +241,16 @@ impl UartLink {
             bytes_moved: 0,
             injector: None,
             stats: LinkStats::default(),
+            fpga_rx: RxState::default(),
+            host_rx: RxState::default(),
+            resync_timeout_bytes: Self::DEFAULT_RESYNC_TIMEOUT_BYTES,
         }
+    }
+
+    /// Overrides the sliding resync timeout (wire byte-slots).
+    pub fn with_resync_timeout_bytes(mut self, bytes: u64) -> Self {
+        self.resync_timeout_bytes = bytes.max(1);
+        self
     }
 
     /// Creates a link whose wire runs through a seeded fault injector.
@@ -250,14 +287,36 @@ impl UartLink {
         self.put(false, frame);
     }
 
+    /// Injects raw bytes onto the host-bound wire, outside any frame:
+    /// line noise, a glitching transceiver, or a misbehaving neighbor
+    /// driving the shared pin. Wire time is charged exactly as for real
+    /// traffic; the bytes land in front of whatever the FPGA sends
+    /// next, so the host-side scanner has to resynchronize past them.
+    pub fn inject_to_host(&mut self, bytes: &[u8]) {
+        self.bytes_moved += bytes.len() as u64;
+        self.to_host.extend(bytes.iter().copied());
+    }
+
     /// Receives the next complete frame on the FPGA side, if any.
     pub fn fpga_recv(&mut self) -> Option<UartFrame> {
-        Self::recv(&mut self.to_fpga, &mut self.stats)
+        Self::recv(
+            &mut self.to_fpga,
+            &mut self.stats,
+            &mut self.fpga_rx,
+            self.bytes_moved,
+            self.resync_timeout_bytes,
+        )
     }
 
     /// Receives the next complete frame on the host side, if any.
     pub fn host_recv(&mut self) -> Option<UartFrame> {
-        Self::recv(&mut self.to_host, &mut self.stats)
+        Self::recv(
+            &mut self.to_host,
+            &mut self.stats,
+            &mut self.host_rx,
+            self.bytes_moved,
+            self.resync_timeout_bytes,
+        )
     }
 
     /// Scans the queue for the next clean frame, discarding corrupt
@@ -265,21 +324,72 @@ impl UartLink {
     /// when the queue holds no complete clean frame — corruption is
     /// *recorded*, never fatal, because the request/response layer above
     /// handles loss by retrying.
-    fn recv(queue: &mut VecDeque<u8>, stats: &mut LinkStats) -> Option<UartFrame> {
+    ///
+    /// A stuck prefix cannot park the scanner: a fake sync byte whose
+    /// implied length promises a frame that never arrives is covered by
+    /// a sliding timeout. Every time the buffer grows the deadline
+    /// slides forward by the resync timeout; once wire time passes the
+    /// deadline with the head still incomplete, the head byte is
+    /// discarded and the scan repeats until a clean frame surfaces or
+    /// the stale prefix is gone — no driver-level flush required.
+    fn recv(
+        queue: &mut VecDeque<u8>,
+        stats: &mut LinkStats,
+        state: &mut RxState,
+        now: u64,
+        timeout: u64,
+    ) -> Option<UartFrame> {
         loop {
             let bytes = queue.make_contiguous();
             match UartFrame::scan(bytes) {
                 DecodeOutcome::Frame { frame, consumed } => {
                     queue.drain(..consumed);
                     stats.frames_delivered += 1;
+                    *state = RxState {
+                        buffered: queue.len(),
+                        deadline: now.saturating_add(timeout),
+                    };
                     return Some(frame);
                 }
-                DecodeOutcome::NeedMore { .. } => return None,
+                DecodeOutcome::NeedMore { .. } => {
+                    if queue.is_empty() {
+                        *state = RxState::default();
+                        return None;
+                    }
+                    if queue.len() > state.buffered {
+                        // Bytes arrived since the last poll: progress,
+                        // so the deadline slides.
+                        *state = RxState {
+                            buffered: queue.len(),
+                            deadline: now.saturating_add(timeout),
+                        };
+                        return None;
+                    }
+                    if now < state.deadline {
+                        return None;
+                    }
+                    // Timed out parked on a prefix that never completed:
+                    // drop the head byte and rescan. The discard counts
+                    // as progress, so the new head gets a fresh
+                    // deadline — an expired timer must never burn
+                    // through a younger, still-arriving frame behind.
+                    queue.drain(..1);
+                    stats.resyncs += 1;
+                    stats.bytes_discarded += 1;
+                    *state = RxState {
+                        buffered: queue.len(),
+                        deadline: now.saturating_add(timeout),
+                    };
+                }
                 DecodeOutcome::Corrupt { skip, .. } => {
                     let skip = skip.max(1).min(queue.len());
                     queue.drain(..skip);
                     stats.resyncs += 1;
                     stats.bytes_discarded += skip as u64;
+                    *state = RxState {
+                        buffered: queue.len(),
+                        deadline: now.saturating_add(timeout),
+                    };
                 }
             }
         }
@@ -296,6 +406,8 @@ impl UartLink {
         }
         self.to_fpga.clear();
         self.to_host.clear();
+        self.fpga_rx = RxState::default();
+        self.host_rx = RxState::default();
     }
 
     /// Charges `seconds` of idle wire time (retry backoff, reboot
@@ -439,9 +551,8 @@ mod tests {
     fn link_resyncs_past_garbage_to_next_frame() {
         let mut link = UartLink::new(115_200);
         // Simulate line garbage followed by two good frames. (Garbage
-        // containing a fake sync byte instead parks the scanner in
-        // NeedMore until enough bytes arrive to fail the CRC; the retry
-        // layer's flush covers that case.)
+        // containing a fake sync byte is covered separately by the
+        // sliding resync timeout.)
         link.to_host.extend([0xff, 0x00, 0x13, 0x37]);
         let f1 = UartFrame::new(9, vec![1, 2, 3]);
         let f2 = UartFrame::new(10, vec![4, 5]);
@@ -462,6 +573,44 @@ mod tests {
         link.to_host.extend(bad);
         link.to_host.extend(good.encode());
         assert_eq!(link.host_recv().unwrap(), good);
+    }
+
+    #[test]
+    fn fake_sync_cannot_park_the_scanner() {
+        // A fake sync byte whose implied length (0x1337 > nothing, but
+        // within MAX_PAYLOAD bounds) promises a frame that never
+        // arrives, with a real frame queued right behind it. The old
+        // scanner sat in NeedMore forever; the sliding timeout digs the
+        // real frame out once wire time passes the deadline.
+        let mut link = UartLink::new(115_200);
+        let real = UartFrame::new(7, vec![0xaa, 0xbb]);
+        link.to_host.extend([UartFrame::SYNC, 0x00, 0x00, 0x13]); // len = 0x1300
+        link.to_host.extend(real.encode());
+        // Before the deadline: parked (this is a plausible partial frame).
+        assert!(link.host_recv().is_none());
+        assert!(link.host_recv().is_none());
+        // Let more than a max-frame's worth of wire time pass idle.
+        let timeout_s = UartLink::DEFAULT_RESYNC_TIMEOUT_BYTES as f64 * 10.0 / 115_200.0;
+        link.charge_idle(timeout_s * 1.1);
+        assert_eq!(link.host_recv().unwrap(), real);
+        assert!(link.stats().resyncs > 0);
+        assert!(link.host_recv().is_none());
+    }
+
+    #[test]
+    fn deadline_slides_while_bytes_trickle_in() {
+        // As long as the buffer keeps growing, an incomplete frame is
+        // never condemned — the timeout measures silence, not patience.
+        let mut link = UartLink::new(115_200).with_resync_timeout_bytes(64);
+        let frame = UartFrame::new(3, vec![0x55; 100]);
+        let wire = frame.encode();
+        for chunk in wire.chunks(8) {
+            assert!(link.host_recv().is_none() || chunk.is_empty());
+            link.to_host.extend(chunk);
+            link.charge_idle(50.0 * 10.0 / 115_200.0); // 50 byte-slots idle
+        }
+        assert_eq!(link.host_recv().unwrap(), frame);
+        assert_eq!(link.stats().resyncs, 0, "no byte was condemned");
     }
 
     #[test]

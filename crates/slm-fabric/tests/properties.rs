@@ -230,4 +230,48 @@ proptest! {
             prop_assert!((0.5..1.2).contains(&v), "implausible rail voltage {v}");
         }
     }
+
+    /// A stale garbage prefix — even one ending in a fake sync byte
+    /// whose implied length promises a frame that never arrives — can
+    /// never park the host-side scanner. Idle wire time alone walks the
+    /// sliding resync timeout past the junk and delivers the real frame
+    /// that was queued behind it, with no driver-level `flush()`.
+    #[test]
+    fn fake_sync_prefix_never_parks_the_host_scanner(
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+        fake_len in 4096u16..8192,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        seq in any::<u8>(),
+    ) {
+        const TIMEOUT_SLOTS: u64 = 256;
+        let baud = 115_200u64;
+        let mut link = UartLink::new(baud).with_resync_timeout_bytes(TIMEOUT_SLOTS);
+        // Arbitrary line noise, then the adversarial worst case: a fake
+        // sync header implying a frame far longer than anything buffered.
+        let mut noise = garbage;
+        noise.push(UartFrame::SYNC);
+        noise.push(0x00);
+        noise.extend(fake_len.to_le_bytes());
+        link.inject_to_host(&noise);
+        let frame = UartFrame::new(seq, payload);
+        link.fpga_send(&frame);
+        let timeout_s = TIMEOUT_SLOTS as f64 * 10.0 / baud as f64;
+        let mut delivered = false;
+        for _ in 0..200 {
+            if let Some(got) = link.host_recv() {
+                if got == frame {
+                    delivered = true;
+                    break;
+                }
+                // A CRC-lucky frame assembled from noise: keep scanning.
+                continue;
+            }
+            link.charge_idle(timeout_s * 1.1);
+        }
+        prop_assert!(
+            delivered,
+            "scanner parked on a fake sync prefix: {:?}",
+            link.stats()
+        );
+    }
 }

@@ -18,9 +18,14 @@ mod alu;
 mod arch;
 mod c6288;
 mod misc;
+mod obfuscated;
 
 pub use adder::{ripple_carry_adder, ripple_carry_adder_with_cin};
 pub use alu::{alu, alu192, AluOp, ALU_OPCODE_BITS};
 pub use arch::{carry_lookahead_adder, carry_select_adder, kogge_stone_adder, wallace_multiplier};
 pub use c6288::{array_multiplier, c6288};
 pub use misc::{c17, equality_comparator, parity_tree, ring_oscillator, tdc_delay_line};
+pub use obfuscated::{
+    clock_as_data, obfuscated_ring_oscillator, obfuscated_tdc_delay_line, ro_grid,
+    tapped_carry_chain, zoo, ZooEntry,
+};

@@ -1,0 +1,308 @@
+//! Graph analyses over the gate network: a compact fanout index,
+//! strongly connected components, and buffer-collapse.
+//!
+//! These are the shared substrate of the `slm-checker` pass framework:
+//! every structural pass walks the same graph, so the adjacency is
+//! built once ([`FanoutIndex`]) instead of rescanning all gates per
+//! query, SCCs give *complete* oscillation-loop membership (a
+//! topological sort only yields one witness net), and
+//! [`collapsed_drivers`] sees through interposed buffers — the cheap
+//! obfuscation a tenant would use to break naive pattern matchers.
+
+use crate::gate::{GateKind, NetId};
+use crate::netlist::Netlist;
+
+/// Fanout adjacency in compressed-sparse-row form.
+///
+/// Built in one O(gates + edges) sweep; `fanouts(id)` is then a slice
+/// lookup. Replaces the per-query scans that made chain-following
+/// passes quadratic on long delay lines.
+#[derive(Debug, Clone)]
+pub struct FanoutIndex {
+    start: Vec<u32>,
+    edges: Vec<NetId>,
+}
+
+impl FanoutIndex {
+    /// Builds the index for `nl`.
+    pub fn build(nl: &Netlist) -> Self {
+        let n = nl.len();
+        let mut start = vec![0u32; n + 1];
+        for g in nl.gates() {
+            for &f in &g.fanin {
+                start[f.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut edges = vec![NetId(0); start[n] as usize];
+        let mut cursor = start.clone();
+        for (gi, g) in nl.gates().iter().enumerate() {
+            for &f in &g.fanin {
+                edges[cursor[f.index()] as usize] = NetId(gi as u32);
+                cursor[f.index()] += 1;
+            }
+        }
+        FanoutIndex { start, edges }
+    }
+
+    /// The gates reading net `id` (with multiplicity for repeated fanins).
+    pub fn fanouts(&self, id: NetId) -> &[NetId] {
+        let s = self.start[id.index()] as usize;
+        let e = self.start[id.index() + 1] as usize;
+        &self.edges[s..e]
+    }
+
+    /// Number of fanout edges of net `id`.
+    pub fn degree(&self, id: NetId) -> usize {
+        self.fanouts(id).len()
+    }
+}
+
+/// All strongly connected components of the gate graph, in reverse
+/// topological order of the condensation (Tarjan's invariant).
+///
+/// Singleton components without a self-loop are included; use
+/// [`combinational_loops`] for just the oscillation-capable ones.
+pub fn strongly_connected_components(nl: &Netlist) -> Vec<Vec<NetId>> {
+    // Iterative Tarjan over the fanin orientation (SCC sets are
+    // invariant under edge reversal). Recursion would overflow on the
+    // 50k-stage chains the checker benches run.
+    let n = nl.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<NetId>> = Vec::new();
+    // Explicit DFS frames: (node, next fanin position to explore).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos == 0 {
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let fanin = &nl.gate(NetId(v)).fanin;
+            if let Some(&w) = fanin.get(*pos) {
+                *pos += 1;
+                let w = w.0;
+                if index[w as usize] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // v is fully explored.
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack holds the component");
+                        on_stack[w as usize] = false;
+                        comp.push(NetId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// The combinational feedback loops of `nl`: every SCC that can carry a
+/// signal back to itself — components of two or more gates, plus
+/// single gates that list themselves as a fanin.
+///
+/// Each returned component is sorted by net id; components are ordered
+/// by their smallest member. An acyclic netlist returns an empty list.
+pub fn combinational_loops(nl: &Netlist) -> Vec<Vec<NetId>> {
+    let mut loops: Vec<Vec<NetId>> = strongly_connected_components(nl)
+        .into_iter()
+        .filter(|comp| {
+            comp.len() > 1 || {
+                let id = comp[0];
+                nl.gate(id).fanin.contains(&id)
+            }
+        })
+        .collect();
+    loops.sort_by_key(|comp| comp[0]);
+    loops
+}
+
+/// Maps every net to its nearest non-buffer driver.
+///
+/// Following a `Buf` gate's single fanin repeatedly, each net resolves
+/// to the first driver that is *not* a buffer; non-buffer nets resolve
+/// to themselves. A (degenerate) all-buffer cycle resolves to a member
+/// of the cycle. This is the canonical view the signature matcher scans
+/// so interposed buffers cannot break a motif.
+pub fn collapsed_drivers(nl: &Netlist) -> Vec<NetId> {
+    let n = nl.len();
+    let mut root: Vec<Option<NetId>> = vec![None; n];
+    for start in 0..n {
+        if root[start].is_some() {
+            continue;
+        }
+        // Walk the buffer chain, memoizing the whole path.
+        let mut path = Vec::new();
+        let mut cur = NetId(start as u32);
+        let resolved = loop {
+            if let Some(r) = root[cur.index()] {
+                break r;
+            }
+            let g = nl.gate(cur);
+            if g.kind != GateKind::Buf {
+                break cur;
+            }
+            if path.contains(&cur) {
+                // pure-buffer cycle: anchor it at the re-visited net
+                break cur;
+            }
+            path.push(cur);
+            cur = g.fanin[0];
+        };
+        for p in path {
+            root[p.index()] = Some(resolved);
+        }
+        root[start].get_or_insert(resolved);
+    }
+    root.into_iter()
+        .map(|r| r.expect("every net resolved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::Gate;
+    use crate::generators::{ring_oscillator, ripple_carry_adder};
+
+    #[test]
+    fn fanout_index_matches_fanouts() {
+        let nl = ripple_carry_adder(8).unwrap();
+        let idx = FanoutIndex::build(&nl);
+        let slow = nl.fanouts();
+        for (i, expected) in slow.iter().enumerate() {
+            let id = NetId(i as u32);
+            let mut a: Vec<NetId> = idx.fanouts(id).to_vec();
+            let mut b = expected.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "net {id}");
+            assert_eq!(idx.degree(id), b.len());
+        }
+    }
+
+    #[test]
+    fn acyclic_netlist_has_no_loops() {
+        let nl = ripple_carry_adder(16).unwrap();
+        assert!(combinational_loops(&nl).is_empty());
+        // every gate lands in its own singleton SCC
+        assert_eq!(strongly_connected_components(&nl).len(), nl.len());
+    }
+
+    #[test]
+    fn ring_oscillator_loop_membership_is_complete() {
+        let ro = ring_oscillator(6).unwrap();
+        let loops = combinational_loops(&ro);
+        assert_eq!(loops.len(), 1);
+        // The loop is the NAND plus all six inverters; the enable input
+        // stays outside.
+        assert_eq!(loops[0].len(), 7);
+        assert!(
+            !loops[0].contains(&NetId(0)),
+            "enable input is not in the loop"
+        );
+    }
+
+    #[test]
+    fn two_independent_loops_are_separate_components() {
+        let a = ring_oscillator(4).unwrap();
+        let both = Netlist::disjoint_union("pair", &[&a, &a]).unwrap();
+        let loops = combinational_loops(&both);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].len(), 5);
+        assert_eq!(loops[1].len(), 5);
+    }
+
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn self_loop_gate_is_a_loop() {
+        let gates = vec![
+            Gate::new(GateKind::Input, vec![]),
+            Gate::new(GateKind::Nand, vec![NetId(0), NetId(1)]),
+        ];
+        let nl = Netlist::from_parts("latch", gates, vec![NetId(0)], vec![], vec![]).unwrap();
+        let loops = combinational_loops(&nl);
+        assert_eq!(loops, vec![vec![NetId(1)]]);
+    }
+
+    #[test]
+    fn collapse_sees_through_buffer_runs() {
+        let mut b = NetlistBuilder::new("bufs");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and2(x, y);
+        let mut t = g;
+        for _ in 0..5 {
+            t = b.buf(t);
+        }
+        let h = b.not(t);
+        b.output("q", h);
+        let nl = b.finish().unwrap();
+        let roots = collapsed_drivers(&nl);
+        assert_eq!(roots[t.index()], g, "buffer run resolves to the AND");
+        assert_eq!(roots[g.index()], g);
+        assert_eq!(roots[h.index()], h);
+        // the NOT's effective fanin is the AND
+        assert_eq!(roots[nl.gate(h).fanin[0].index()], g);
+    }
+
+    #[test]
+    fn pure_buffer_cycle_terminates() {
+        let gates = vec![
+            Gate::new(GateKind::Buf, vec![NetId(1)]),
+            Gate::new(GateKind::Buf, vec![NetId(0)]),
+        ];
+        let nl = Netlist::from_parts("bufloop", gates, vec![], vec![], vec![]).unwrap();
+        let roots = collapsed_drivers(&nl);
+        // Both nets resolve to a member of the cycle.
+        assert!(roots.iter().all(|r| r.index() < 2));
+        assert_eq!(combinational_loops(&nl).len(), 1);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 60k-stage buffer chain: the iterative Tarjan and the memoized
+        // collapse must both handle it without recursion.
+        let mut b = NetlistBuilder::new("deep");
+        let mut n = b.input("d");
+        for _ in 0..60_000 {
+            n = b.buf(n);
+        }
+        b.output("q", n);
+        let nl = b.finish().unwrap();
+        assert!(combinational_loops(&nl).is_empty());
+        let roots = collapsed_drivers(&nl);
+        assert_eq!(roots[n.index()], nl.inputs()[0]);
+    }
+}

@@ -40,6 +40,7 @@ mod builder;
 mod error;
 mod gate;
 pub mod generators;
+pub mod graph;
 mod netlist;
 mod stats;
 pub mod transform;

@@ -1,0 +1,140 @@
+//! Parallel-campaign throughput: traces/sec at 1/2/4/8 workers.
+//!
+//! Runs the same sharded TDC campaign (`run_cpa_parallel`) at several
+//! worker counts, checks the results are bit-identical (the determinism
+//! contract), and records traces/sec and speedup to
+//! `BENCH_campaign.json` at the workspace root. Speedup scales with
+//! the cores actually available — on a single-core runner every worker
+//! count measures the same serial throughput, and the JSON records
+//! `available_workers` so the numbers can be read honestly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use slm_core::experiments::{run_cpa_parallel, CpaExperiment, ParallelCpa, SensorSource};
+use slm_fabric::BenignCircuit;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn quick() -> bool {
+    std::env::var("SLM_BENCH_QUICK").is_ok()
+}
+
+#[derive(Debug, Serialize)]
+struct CampaignRow {
+    workers: usize,
+    seconds: f64,
+    traces_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct CampaignBench {
+    bench: String,
+    quick: bool,
+    available_workers: usize,
+    circuit: String,
+    source: String,
+    traces: u64,
+    shard_traces: u64,
+    pilot_traces: usize,
+    /// Whether every worker count produced a bit-identical CpaResult.
+    deterministic: bool,
+    rows: Vec<CampaignRow>,
+}
+
+fn experiment(workers: usize) -> ParallelCpa {
+    let traces = if quick() { 600 } else { 4_000 };
+    ParallelCpa {
+        base: CpaExperiment {
+            circuit: BenignCircuit::DualC6288,
+            source: SensorSource::TdcAll,
+            traces,
+            checkpoints: 4,
+            pilot_traces: if quick() { 30 } else { 100 },
+            seed: 23,
+        },
+        shard_traces: (traces / 16).max(1),
+        workers,
+    }
+}
+
+fn campaign_scaling(c: &mut Criterion) {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let mut rows = Vec::new();
+        let mut results = Vec::new();
+        let mut serial_tps = 0.0f64;
+        for workers in [1usize, 2, 4, 8] {
+            let exp = experiment(workers);
+            let start = std::time::Instant::now();
+            let r = run_cpa_parallel(&exp).expect("fabric builds");
+            let seconds = start.elapsed().as_secs_f64();
+            let traces_per_sec = exp.base.traces as f64 / seconds;
+            if workers == 1 {
+                serial_tps = traces_per_sec;
+            }
+            println!(
+                "[campaign] workers={workers} traces={} elapsed={seconds:.2}s \
+                 traces/sec={traces_per_sec:.0} speedup={:.2} recovered={}",
+                exp.base.traces,
+                traces_per_sec / serial_tps,
+                r.recovered_key_byte == Some(r.correct_key_byte),
+            );
+            rows.push(CampaignRow {
+                workers,
+                seconds,
+                traces_per_sec,
+                speedup_vs_serial: traces_per_sec / serial_tps,
+            });
+            results.push(r);
+        }
+        let deterministic = results.windows(2).all(|w| w[0] == w[1]);
+        println!("[campaign] deterministic_across_worker_counts={deterministic}");
+        assert!(
+            deterministic,
+            "worker count leaked into the campaign result"
+        );
+
+        let exp = experiment(1);
+        let record = CampaignBench {
+            bench: "campaign".to_string(),
+            quick: quick(),
+            available_workers: slm_par::available_workers(),
+            circuit: "DualC6288".to_string(),
+            source: "TdcAll".to_string(),
+            traces: exp.base.traces,
+            shard_traces: exp.shard_traces,
+            pilot_traces: exp.base.pilot_traces,
+            deterministic,
+            rows,
+        };
+        let json = serde_json::to_string_pretty(&record)
+            .expect("bench record serialization is infallible");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+        std::fs::write(path, json + "\n").expect("workspace root is writable");
+        println!("[campaign] wrote {path}");
+    });
+
+    // Timed kernel: a small sharded campaign end to end (pilot, shard
+    // capture on the pool, merge, evaluation).
+    c.bench_function("parallel_campaign_600_traces", |b| {
+        b.iter(|| {
+            let exp = ParallelCpa {
+                base: CpaExperiment {
+                    circuit: BenignCircuit::DualC6288,
+                    source: SensorSource::TdcAll,
+                    traces: 600,
+                    checkpoints: 2,
+                    pilot_traces: 20,
+                    seed: 29,
+                },
+                shard_traces: 75,
+                workers: 0,
+            };
+            run_cpa_parallel(black_box(&exp)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, campaign_scaling);
+criterion_main!(benches);

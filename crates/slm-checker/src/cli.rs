@@ -29,6 +29,7 @@ OPTIONS:
     --generator NAME   scan one zoo design by name
     --bench FILE       scan an ISCAS-85 .bench netlist
     --clock-mhz F      additionally run the strict timing check at F MHz
+    --jobs N           scan designs on N threads (0 = all cores; default 0)
     --compact          emit compact JSON instead of pretty-printed
     --list-passes      print the structural pass pipeline and exit";
 
@@ -67,6 +68,7 @@ struct Options {
     generator: Option<String>,
     bench: Option<String>,
     clock_mhz: Option<f64>,
+    jobs: usize,
     compact: bool,
     list_passes: bool,
 }
@@ -95,6 +97,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err(format!("--clock-mhz: must be positive, got {raw}"));
                 }
                 opts.clock_mhz = Some(mhz);
+            }
+            "--jobs" => {
+                let raw = it.next().ok_or("--jobs needs a thread count")?;
+                opts.jobs = raw
+                    .parse()
+                    .map_err(|_| format!("--jobs: not a count: {raw}"))?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}\n\n{USAGE}")),
@@ -149,15 +157,20 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
     let config = CheckerConfig::default();
     let mut reports = Vec::new();
     if opts.zoo {
-        for entry in zoo() {
-            reports.push(scan_one(
+        // Designs are independent scans; fan them out over the worker
+        // pool. par_map preserves input order, so the report sequence
+        // (and thus the JSON and exit code) is identical at any job
+        // count.
+        let entries = zoo();
+        reports = slm_par::par_map(opts.jobs, &entries, |entry| {
+            scan_one(
                 &pm,
                 &config,
                 &entry.netlist,
                 Some(entry.malicious),
                 opts.clock_mhz,
-            ));
-        }
+            )
+        });
     } else if let Some(name) = &opts.generator {
         let entry = zoo()
             .into_iter()
@@ -256,6 +269,34 @@ mod tests {
         assert!(run(&argv(&["--bogus"])).is_err());
         assert!(run(&argv(&["--zoo", "--clock-mhz", "nope"])).is_err());
         assert!(run(&argv(&["--generator", "no_such_design"])).is_err());
+        assert!(run(&argv(&["--zoo", "--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn parallel_zoo_scan_matches_serial() {
+        // The full JSON output — report order, findings, verdicts, exit
+        // code — must not depend on the job count.
+        let (serial, code1) = run(&argv(&["--zoo", "--assert-matrix", "--jobs", "1"])).unwrap();
+        let (wide, code4) = run(&argv(&["--zoo", "--assert-matrix", "--jobs", "4"])).unwrap();
+        assert_eq!(serial, wide);
+        assert_eq!(code1, code4);
+    }
+
+    #[test]
+    fn run_many_matches_run_in_a_loop() {
+        let pm = PassManager::structural();
+        let config = CheckerConfig::default();
+        let entries = zoo();
+        let netlists: Vec<&Netlist> = entries.iter().map(|e| &e.netlist).collect();
+        let serial: Vec<_> = netlists.iter().map(|nl| pm.run(nl, &config)).collect();
+        for workers in [1, 3, 8] {
+            let parallel = pm.run_many(&netlists, &config, workers);
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in parallel.iter().zip(&serial) {
+                assert_eq!(a.netlist, b.netlist);
+                assert_eq!(a.findings, b.findings);
+            }
+        }
     }
 
     #[test]

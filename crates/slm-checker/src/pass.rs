@@ -10,8 +10,11 @@ use slm_netlist::Netlist;
 ///
 /// Passes are stateless: all tunables come from the [`CheckerConfig`]
 /// section they own, and all shared graph facts from the [`Analysis`]
-/// context, so a [`PassManager`] can run any subset in any order.
-pub trait Pass {
+/// context, so a [`PassManager`] can run any subset in any order. The
+/// `Send + Sync` bound is what lets one manager scan many designs
+/// concurrently ([`PassManager::run_many`]) — statelessness makes it
+/// trivially satisfiable.
+pub trait Pass: Send + Sync {
     /// Short stable identifier (used in findings, suppressions and the
     /// detection matrix).
     fn name(&self) -> &'static str;
@@ -78,6 +81,22 @@ impl PassManager {
         }
         apply_suppressions(config, &mut report.findings);
         report
+    }
+
+    /// Scans many netlists on up to `workers` threads (0 = machine
+    /// parallelism), returning one report per netlist in input order.
+    ///
+    /// Each design gets its own [`Analysis`] and report; passes are
+    /// stateless, so the reports are identical to running
+    /// [`PassManager::run`] in a loop — order-preserving and
+    /// worker-count invariant.
+    pub fn run_many(
+        &self,
+        netlists: &[&Netlist],
+        config: &CheckerConfig,
+        workers: usize,
+    ) -> Vec<CheckReport> {
+        slm_par::par_map(workers, netlists, |nl| self.run(nl, config))
     }
 }
 

@@ -83,23 +83,34 @@ pub fn run_cpa(exp: &CpaExperiment) -> Result<CpaResult, FabricError> {
     run_cpa_inner(exp, |_| {})
 }
 
-/// [`run_cpa`] with a fabric-configuration hook applied before the
-/// fabric is built — used by the countermeasure and placement studies.
-///
-/// # Errors
-///
-/// Propagates fabric construction failures.
-pub(crate) fn run_cpa_inner(
+/// Everything the pilot phase decides about a campaign: the hypothesis
+/// model, the ground truth, the derived endpoint selections and the
+/// trace post-processing. Shared between the serial and sharded
+/// campaign loops so both paths make identical offline decisions.
+#[derive(Debug, Clone)]
+pub(crate) struct CampaignSetup {
+    pub model: LastRoundModel,
+    pub correct_key_byte: u8,
+    pub bits_of_interest: Vec<usize>,
+    pub candidate_bits: Vec<usize>,
+    pub selected_bit: Option<usize>,
+    pub window: std::ops::Range<usize>,
+    pub points: usize,
+    pub endpoints: Vec<usize>,
+    pub single_bit_slots: usize,
+    pub processor: Option<PostProcessor>,
+}
+
+/// Runs the pilot phase on a fresh fabric built from `config` and
+/// derives the campaign setup. The fabric is returned with its noise
+/// and plaintext streams advanced past the pilot, so the serial path
+/// can keep capturing on it exactly as before the pilot/main split was
+/// factored out.
+pub(crate) fn pilot_setup(
     exp: &CpaExperiment,
-    tweak: impl FnOnce(&mut FabricConfig),
-) -> Result<CpaResult, FabricError> {
-    let mut config = FabricConfig {
-        benign: exp.circuit,
-        seed: exp.seed,
-        ..FabricConfig::default()
-    };
-    tweak(&mut config);
-    let mut fabric = MultiTenantFabric::new(&config)?;
+    config: &FabricConfig,
+) -> Result<(MultiTenantFabric, CampaignSetup), FabricError> {
+    let mut fabric = MultiTenantFabric::new(config)?;
     let model = LastRoundModel::paper_target();
     let correct_key_byte = fabric.aes().round_keys()[10][model.ct_byte];
 
@@ -150,7 +161,6 @@ pub(crate) fn run_cpa_inner(
         _ => None,
     };
 
-    // ---- main phase -----------------------------------------------------
     let window = fabric.last_round_window();
     let points = window.len();
     let endpoints: Vec<usize> = match exp.source {
@@ -176,59 +186,77 @@ pub(crate) fn run_cpa_inner(
         SensorSource::BenignSingleBit(_) => Some(PostProcessor::SingleBit(0)),
         _ => None,
     };
+    Ok((
+        fabric,
+        CampaignSetup {
+            model,
+            correct_key_byte,
+            bits_of_interest,
+            candidate_bits,
+            selected_bit,
+            window,
+            points,
+            endpoints,
+            single_bit_slots,
+            processor,
+        },
+    ))
+}
 
-    // One attack per single-bit candidate (index 0 used by the other
-    // sources).
-    let mut attacks: Vec<CpaAttack> = (0..single_bit_slots)
-        .map(|_| CpaAttack::new(model, points))
-        .collect();
-    let mut progress_per: Vec<Vec<ProgressPoint>> =
-        vec![Vec::with_capacity(exp.checkpoints); single_bit_slots];
-    let checkpoint_every = (exp.traces / exp.checkpoints.max(1) as u64).max(1);
-    let mut point_buf = vec![0.0f64; points];
-    for t in 1..=exp.traces {
-        let pt = fabric.random_plaintext();
-        let rec = fabric.encrypt_windowed(pt, window.clone(), &endpoints);
-        match exp.source {
-            SensorSource::TdcAll => {
-                for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
-                    *dst = f64::from(d);
-                }
-                attacks[0].add_trace(&rec.ciphertext, &point_buf);
+/// Post-processes one capture into trace points and feeds the per-slot
+/// attacks. This is the campaign loop body, shared verbatim by the
+/// serial and sharded paths.
+pub(crate) fn absorb_record(
+    source: SensorSource,
+    setup: &CampaignSetup,
+    rec: &slm_fabric::CaptureRecord,
+    attacks: &mut [CpaAttack],
+    point_buf: &mut [f64],
+) {
+    match source {
+        SensorSource::TdcAll => {
+            for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
+                *dst = f64::from(d);
             }
-            SensorSource::TdcSingleBit(_) => {
-                let b = selected_bit.expect("set above");
-                for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
-                    *dst = f64::from(u8::from(d as usize >= b));
-                }
-                attacks[0].add_trace(&rec.ciphertext, &point_buf);
+            attacks[0].add_trace(&rec.ciphertext, point_buf);
+        }
+        SensorSource::TdcSingleBit(_) => {
+            let b = setup.selected_bit.expect("set by pilot");
+            for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
+                *dst = f64::from(u8::from(d as usize >= b));
             }
-            SensorSource::BenignSingleBit(_) => {
-                for (slot, attack) in attacks.iter_mut().enumerate() {
-                    for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
-                        *dst = f64::from(u8::from(s.bit(slot)));
-                    }
-                    attack.add_trace(&rec.ciphertext, &point_buf);
-                }
-            }
-            SensorSource::BenignHammingWeight => {
-                let p = processor.as_ref().expect("set above");
+            attacks[0].add_trace(&rec.ciphertext, point_buf);
+        }
+        SensorSource::BenignSingleBit(_) => {
+            for (slot, attack) in attacks.iter_mut().enumerate() {
                 for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
-                    *dst = p.reduce(s);
+                    *dst = f64::from(u8::from(s.bit(slot)));
                 }
-                attacks[0].add_trace(&rec.ciphertext, &point_buf);
+                attack.add_trace(&rec.ciphertext, point_buf);
             }
         }
-        if t % checkpoint_every == 0 || t == exp.traces {
-            for (slot, attack) in attacks.iter().enumerate() {
-                progress_per[slot].push(ProgressPoint {
-                    traces: t,
-                    peak_corr: attack.peak_correlations().to_vec(),
-                });
+        SensorSource::BenignHammingWeight => {
+            let p = setup.processor.as_ref().expect("set by pilot");
+            for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
+                *dst = p.reduce(s);
             }
+            attacks[0].add_trace(&rec.ciphertext, point_buf);
         }
     }
+}
 
+/// Turns finished accumulators and their progress curves into a
+/// [`CpaResult`]: picks the best single-bit candidate slot, derives the
+/// MTD and the recovered byte. `eval_workers` threads evaluate the final
+/// correlation surface (1 = serial; the evaluation is bit-identical at
+/// any count).
+pub(crate) fn assemble_result(
+    exp: &CpaExperiment,
+    setup: &CampaignSetup,
+    attacks: &[CpaAttack],
+    mut progress_per: Vec<Vec<ProgressPoint>>,
+    eval_workers: usize,
+) -> CpaResult {
     // For multi-candidate single-bit attacks, keep the candidate whose
     // leading key separates best from the runner-up — computable without
     // ground truth.
@@ -246,10 +274,11 @@ pub(crate) fn run_cpa_inner(
     let attack = &attacks[chosen_slot];
     let progress = progress_per.swap_remove(chosen_slot);
     let selected_bit = match exp.source {
-        SensorSource::BenignSingleBit(_) => candidate_bits.get(chosen_slot).copied(),
-        _ => selected_bit,
+        SensorSource::BenignSingleBit(_) => setup.candidate_bits.get(chosen_slot).copied(),
+        _ => setup.selected_bit,
     };
-    let final_peaks = attack.peak_correlations().to_vec();
+    let correct_key_byte = setup.correct_key_byte;
+    let final_peaks = attack.peak_correlations_par(eval_workers).to_vec();
     let mtd = measurements_to_disclosure(&progress, correct_key_byte);
     let recovered_key_byte = progress
         .last()
@@ -260,16 +289,61 @@ pub(crate) fn run_cpa_inner(
             let (best, _) = attack.best_candidate();
             (attack.rank_of(best) == 0 && best != correct_key_byte).then_some(best)
         });
-    Ok(CpaResult {
+    CpaResult {
         correct_key_byte,
         recovered_key_byte,
         mtd,
         progress,
         final_peaks,
-        bits_of_interest,
+        bits_of_interest: setup.bits_of_interest.clone(),
         selected_bit,
         traces: exp.traces,
-    })
+    }
+}
+
+/// [`run_cpa`] with a fabric-configuration hook applied before the
+/// fabric is built — used by the countermeasure and placement studies.
+///
+/// # Errors
+///
+/// Propagates fabric construction failures.
+pub(crate) fn run_cpa_inner(
+    exp: &CpaExperiment,
+    tweak: impl FnOnce(&mut FabricConfig),
+) -> Result<CpaResult, FabricError> {
+    let mut config = FabricConfig {
+        benign: exp.circuit,
+        seed: exp.seed,
+        ..FabricConfig::default()
+    };
+    tweak(&mut config);
+    let (mut fabric, setup) = pilot_setup(exp, &config)?;
+
+    // ---- main phase -----------------------------------------------------
+    // One attack per single-bit candidate (index 0 used by the other
+    // sources).
+    let mut attacks: Vec<CpaAttack> = (0..setup.single_bit_slots)
+        .map(|_| CpaAttack::new(setup.model, setup.points))
+        .collect();
+    let mut progress_per: Vec<Vec<ProgressPoint>> =
+        vec![Vec::with_capacity(exp.checkpoints); setup.single_bit_slots];
+    let checkpoint_every = (exp.traces / exp.checkpoints.max(1) as u64).max(1);
+    let mut point_buf = vec![0.0f64; setup.points];
+    for t in 1..=exp.traces {
+        let pt = fabric.random_plaintext();
+        let rec = fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints);
+        absorb_record(exp.source, &setup, &rec, &mut attacks, &mut point_buf);
+        if t % checkpoint_every == 0 || t == exp.traces {
+            for (slot, attack) in attacks.iter().enumerate() {
+                progress_per[slot].push(ProgressPoint {
+                    traces: t,
+                    peak_corr: attack.peak_correlations().to_vec(),
+                });
+            }
+        }
+    }
+
+    Ok(assemble_result(exp, &setup, &attacks, progress_per, 1))
 }
 
 /// Separation between the leading and runner-up candidates' peak |r| —

@@ -107,7 +107,9 @@ pub fn full_key_recovery(
         multi.add_trace(&rec.ciphertext, &point_buf);
     }
 
-    let recovered_round_key = multi.recovered_round_key();
+    // The final 16 × 256-candidate evaluation fans out over the worker
+    // pool; it is bit-identical to the serial evaluation at any count.
+    let recovered_round_key = multi.recovered_round_key_par(0);
     let recovered_master_key = soft::invert_key_schedule(&recovered_round_key);
     Ok(FullKeyResult {
         true_round_key,

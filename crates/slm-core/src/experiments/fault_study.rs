@@ -32,6 +32,11 @@ pub struct FaultStudy {
     pub checkpoints: usize,
     /// Experiment seed.
     pub seed: u64,
+    /// Worker threads running fault-rate rows concurrently (0 =
+    /// machine parallelism). Each row is a self-contained campaign —
+    /// its own fabric, wire and driver, seeded only by `(seed, row)` —
+    /// so the sweep's result is identical at any worker count.
+    pub workers: usize,
 }
 
 impl Default for FaultStudy {
@@ -42,6 +47,7 @@ impl Default for FaultStudy {
             fault_rates: vec![0.0, 1e-4, 1e-3],
             checkpoints: 8,
             seed: 0x5eed,
+            workers: 1,
         }
     }
 }
@@ -94,88 +100,117 @@ pub struct FaultStudyResult {
 /// buffer and indicates a bug).
 pub fn fault_study(exp: &FaultStudy) -> Result<FaultStudyResult, FabricError> {
     let model = LastRoundModel::paper_target();
-    let mut correct_key_byte = 0u8;
-    let mut rows = Vec::with_capacity(exp.fault_rates.len());
-    for (i, &rate) in exp.fault_rates.iter().enumerate() {
-        let config = FabricConfig {
-            benign: exp.circuit,
-            seed: exp.seed,
-            ..FabricConfig::default()
-        };
-        let session = if rate > 0.0 {
-            let plan = FaultPlan::byte_noise(exp.seed ^ (i as u64).wrapping_mul(0x9e37), rate);
-            RemoteSession::with_fault_plan(&config, vec![], plan)?
-        } else {
-            RemoteSession::new(&config, vec![])?
-        };
-        correct_key_byte = session.fabric().aes().round_keys()[10][model.ct_byte];
-        let points = session.fabric().last_round_window().len();
-        let mut driver = CampaignDriver::new(session);
-
-        let mut attack = CpaAttack::new(model, points);
-        let mut rng = Rng64::new(exp.seed.wrapping_add(i as u64));
-        let mut abandoned = 0u64;
-        let mut progress: Vec<ProgressPoint> = Vec::with_capacity(exp.checkpoints);
-        let snap_every = (exp.traces / exp.checkpoints.max(1) as u64).max(1);
-        let mut point_buf = vec![0.0f64; points];
-        for t in 1..=exp.traces {
-            let mut pt = [0u8; 16];
-            rng.fill_bytes(&mut pt);
-            match driver.capture(pt) {
-                Ok(rec) => {
-                    for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
-                        *dst = f64::from(d);
-                    }
-                    attack.add_trace(&rec.ciphertext, &point_buf);
-                }
-                Err(FabricError::Transport(TransportError::RetriesExhausted { .. })) => {
-                    // The resilient driver gave up on this trace; the
-                    // campaign proceeds without it.
-                    abandoned += 1;
-                }
-                Err(fatal) => return Err(fatal),
-            }
-            if t % snap_every == 0 || t == exp.traces {
-                progress.push(ProgressPoint {
-                    traces: attack.traces(),
-                    peak_corr: attack.peak_correlations().to_vec(),
-                });
-            }
-            if t == exp.traces / 2 {
-                // Mid-campaign crash drill: serialize the accumulator,
-                // reload it, and continue from the resumed copy.
-                let mut bytes = Vec::new();
-                write_checkpoint(&mut bytes, &attack.checkpoint())
-                    .expect("in-memory checkpoint write cannot fail");
-                let resumed =
-                    CpaAttack::resume(read_checkpoint(&bytes[..]).expect("checkpoint must reload"))
-                        .expect("checkpoint must resume");
-                assert_eq!(resumed, attack, "resume diverged from live accumulator");
-                attack = resumed;
-            }
-        }
-
-        let stats = *driver.stats();
-        let session = driver.into_session();
-        rows.push(FaultRow {
-            fault_rate: rate,
-            requested: stats.requested,
-            delivered: stats.delivered,
-            abandoned,
-            retries: stats.retries,
-            quarantined: stats.quarantined,
-            resyncs: session.link_stats().resyncs,
-            backoff_s: stats.backoff_s,
-            wire_time_s: session.wire_time_s(),
-            recovered: attack.traces() > 0 && attack.rank_of(correct_key_byte) == 0,
-            rank_of_correct: attack.rank_of(correct_key_byte),
-            mtd: measurements_to_disclosure(&progress, correct_key_byte),
+    let rates: Vec<(usize, f64)> = exp.fault_rates.iter().copied().enumerate().collect();
+    // Rows are self-contained campaigns seeded only by (exp, i): the
+    // worker pool changes the wall clock, never the rows.
+    let rows: Vec<Result<(FaultRow, u8), FabricError>> =
+        slm_par::par_map(exp.workers, &rates, |&(i, rate)| {
+            fault_row(exp, model, i, rate)
         });
+    let mut correct_key_byte = 0u8;
+    let mut out = Vec::with_capacity(rates.len());
+    for row in rows {
+        let (row, key_byte) = row?;
+        correct_key_byte = key_byte;
+        out.push(row);
     }
     Ok(FaultStudyResult {
         correct_key_byte,
-        rows,
+        rows: out,
     })
+}
+
+/// One fault rate of the sweep: a full resilient campaign on its own
+/// fabric and wire.
+fn fault_row(
+    exp: &FaultStudy,
+    model: LastRoundModel,
+    i: usize,
+    rate: f64,
+) -> Result<(FaultRow, u8), FabricError> {
+    let config = FabricConfig {
+        benign: exp.circuit,
+        seed: exp.seed,
+        ..FabricConfig::default()
+    };
+    let session = if rate > 0.0 {
+        let plan = FaultPlan::byte_noise(exp.seed ^ (i as u64).wrapping_mul(0x9e37), rate);
+        RemoteSession::with_fault_plan(&config, vec![], plan)?
+    } else {
+        RemoteSession::new(&config, vec![])?
+    };
+    let correct_key_byte = session.fabric().aes().round_keys()[10][model.ct_byte];
+    let points = session.fabric().last_round_window().len();
+    let mut driver = CampaignDriver::new(session);
+
+    let mut attack = CpaAttack::new(model, points);
+    let mut rng = Rng64::new(exp.seed.wrapping_add(i as u64));
+    let mut abandoned = 0u64;
+    let mut malformed = 0u64;
+    let mut progress: Vec<ProgressPoint> = Vec::with_capacity(exp.checkpoints);
+    let snap_every = (exp.traces / exp.checkpoints.max(1) as u64).max(1);
+    let mut point_buf = vec![0.0f64; points];
+    for t in 1..=exp.traces {
+        let mut pt = [0u8; 16];
+        rng.fill_bytes(&mut pt);
+        match driver.capture(pt) {
+            Ok(rec) => {
+                for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
+                    *dst = f64::from(d);
+                }
+                // A validated record can still disagree with the
+                // accumulator's geometry (a short capture that passed
+                // the transport checks); quarantine it instead of
+                // aborting the campaign.
+                let samples = &point_buf[..rec.tdc.len().min(point_buf.len())];
+                if attack.try_add_trace(&rec.ciphertext, samples).is_err() {
+                    malformed += 1;
+                }
+            }
+            Err(FabricError::Transport(TransportError::RetriesExhausted { .. })) => {
+                // The resilient driver gave up on this trace; the
+                // campaign proceeds without it.
+                abandoned += 1;
+            }
+            Err(fatal) => return Err(fatal),
+        }
+        if t % snap_every == 0 || t == exp.traces {
+            progress.push(ProgressPoint {
+                traces: attack.traces(),
+                peak_corr: attack.peak_correlations().to_vec(),
+            });
+        }
+        if t == exp.traces / 2 {
+            // Mid-campaign crash drill: serialize the accumulator,
+            // reload it, and continue from the resumed copy.
+            let mut bytes = Vec::new();
+            write_checkpoint(&mut bytes, &attack.checkpoint())
+                .expect("in-memory checkpoint write cannot fail");
+            let resumed =
+                CpaAttack::resume(read_checkpoint(&bytes[..]).expect("checkpoint must reload"))
+                    .expect("checkpoint must resume");
+            assert_eq!(resumed, attack, "resume diverged from live accumulator");
+            attack = resumed;
+        }
+    }
+
+    let stats = *driver.stats();
+    let session = driver.into_session();
+    let row = FaultRow {
+        fault_rate: rate,
+        requested: stats.requested,
+        delivered: stats.delivered,
+        abandoned,
+        retries: stats.retries,
+        quarantined: stats.quarantined + malformed,
+        resyncs: session.link_stats().resyncs,
+        backoff_s: stats.backoff_s,
+        wire_time_s: session.wire_time_s(),
+        recovered: attack.traces() > 0 && attack.rank_of(correct_key_byte) == 0,
+        rank_of_correct: attack.rank_of(correct_key_byte),
+        mtd: measurements_to_disclosure(&progress, correct_key_byte),
+    };
+    Ok((row, correct_key_byte))
 }
 
 #[cfg(test)]
@@ -197,6 +232,20 @@ mod tests {
         assert_eq!(row.abandoned, 0);
         assert_eq!(row.quarantined, 0);
         assert!(row.mtd.is_some());
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let base = FaultStudy {
+            traces: 300,
+            fault_rates: vec![0.0, 1e-3],
+            checkpoints: 2,
+            seed: 5,
+            ..FaultStudy::default()
+        };
+        let serial = fault_study(&base).unwrap();
+        let parallel = fault_study(&FaultStudy { workers: 4, ..base }).unwrap();
+        assert_eq!(serial, parallel, "rows must not depend on the pool");
     }
 
     #[test]

@@ -6,6 +6,7 @@ mod audits;
 mod cpa;
 mod extensions;
 mod fault_study;
+mod parallel;
 mod preliminary;
 mod stealth_matrix;
 
@@ -20,6 +21,7 @@ pub use extensions::{
     tvla_study, FenceStudy, FullKeyResult, MaskingStudy, PlacementRow, TvlaResult,
 };
 pub use fault_study::{fault_study, FaultRow, FaultStudy, FaultStudyResult};
+pub use parallel::{run_cpa_parallel, run_cpa_parallel_with, ParallelCpa};
 pub use preliminary::{
     activity_study, bit_census, bit_variance, ro_response, ActivityStudy, CensusResult, RoResponse,
     VarianceResult,

@@ -1,0 +1,238 @@
+//! Sharded parallel CPA campaigns.
+//!
+//! The serial [`run_cpa`](super::cpa::run_cpa) captures every trace on
+//! one fabric whose electrical state threads through the whole
+//! campaign; that stream cannot be split without changing the traces.
+//! The parallel runner instead splits the *budget* into deterministic
+//! shards ([`ShardPlan`]): each shard is an independent capture session
+//! on its own fabric, re-seeded per shard ([`FabricConfig::for_shard`])
+//! so shard `i` produces the same traces no matter which worker runs
+//! it or how many workers exist. Shard partials are mergeable CPA
+//! accumulators ([`slm_cpa::CpaAttack::merge`]); folding them in shard
+//! order makes the whole campaign — progress curves, MTD, recovered
+//! byte — bit-identical at any worker count. The serial reference for
+//! a parallel campaign is therefore `workers = 1` over the same plan,
+//! not the single-fabric [`run_cpa`](super::cpa::run_cpa) stream.
+//!
+//! The pilot phase (bits of interest, endpoint selection) is not
+//! sharded: it runs once on the base configuration, exactly as the
+//! serial runner's pilot does, and every shard inherits its decisions.
+
+use super::cpa::{absorb_record, assemble_result, pilot_setup, CpaExperiment, CpaResult};
+use serde::{Deserialize, Serialize};
+use slm_cpa::{CpaAttack, ProgressPoint};
+use slm_fabric::{FabricConfig, FabricError, MultiTenantFabric, ShardPlan};
+
+/// A sharded, multi-threaded CPA campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelCpa {
+    /// The campaign parameters (budget, source, seed, checkpoints).
+    pub base: CpaExperiment,
+    /// Traces per shard. The shard layout depends only on this and the
+    /// budget — never on `workers` — so changing the thread count can
+    /// never change the result. Smaller shards balance better across
+    /// workers; larger shards amortize fabric construction.
+    pub shard_traces: u64,
+    /// Worker threads capturing shards (0 = machine parallelism).
+    pub workers: usize,
+}
+
+impl ParallelCpa {
+    /// Wraps a campaign with a shard size of one sixteenth of the
+    /// budget (at least 1) — enough shards to keep 8 workers busy with
+    /// dynamic balancing — and machine parallelism.
+    pub fn new(base: CpaExperiment) -> Self {
+        ParallelCpa {
+            base,
+            shard_traces: (base.traces / 16).max(1),
+            workers: 0,
+        }
+    }
+
+    /// Sets the worker count (0 = machine parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The shard layout this campaign will execute.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan::new(self.base.traces, self.shard_traces)
+    }
+}
+
+/// Per-shard capture output: accumulators snapshotted at every global
+/// checkpoint that falls inside the shard, plus the finished partials.
+struct ShardPartial {
+    snapshots: Vec<(u64, Vec<CpaAttack>)>,
+    attacks: Vec<CpaAttack>,
+}
+
+/// Runs a sharded CPA campaign on a worker pool.
+///
+/// # Errors
+///
+/// Propagates fabric construction failures.
+pub fn run_cpa_parallel(exp: &ParallelCpa) -> Result<CpaResult, FabricError> {
+    run_cpa_parallel_with(exp, |_| {})
+}
+
+/// [`run_cpa_parallel`] with a fabric-configuration hook applied once
+/// to the base configuration before the pilot and before shard
+/// re-seeding — the parallel analogue of
+/// [`run_cpa_with`](super::extensions::run_cpa_with).
+///
+/// # Errors
+///
+/// Propagates fabric construction failures.
+pub fn run_cpa_parallel_with(
+    exp: &ParallelCpa,
+    tweak: impl FnOnce(&mut FabricConfig),
+) -> Result<CpaResult, FabricError> {
+    let base = &exp.base;
+    let mut config = FabricConfig {
+        benign: base.circuit,
+        seed: base.seed,
+        ..FabricConfig::default()
+    };
+    tweak(&mut config);
+    // The pilot is shared: one run on the base config decides endpoint
+    // selection and post-processing for every shard.
+    let (_pilot_fabric, setup) = pilot_setup(base, &config)?;
+
+    let plan = exp.plan();
+    let checkpoint_every = (base.traces / base.checkpoints.max(1) as u64).max(1);
+    let shards = plan.shards();
+    let partials: Vec<Result<ShardPartial, FabricError>> =
+        slm_par::par_map(exp.workers, &shards, |spec| {
+            let shard_config = config.for_shard(spec.index);
+            let mut fabric = MultiTenantFabric::new(&shard_config)?;
+            let mut attacks: Vec<CpaAttack> = (0..setup.single_bit_slots)
+                .map(|_| CpaAttack::new(setup.model, setup.points))
+                .collect();
+            let mut snapshots: Vec<(u64, Vec<CpaAttack>)> = Vec::new();
+            let mut point_buf = vec![0.0f64; setup.points];
+            for t in 1..=spec.traces {
+                let pt = fabric.random_plaintext();
+                let rec = fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints);
+                absorb_record(base.source, &setup, &rec, &mut attacks, &mut point_buf);
+                // A progress checkpoint is a *global* trace count; the
+                // shard holding it snapshots its local state there, and
+                // the merge below completes the prefix.
+                let global = spec.start + t;
+                if global % checkpoint_every == 0 || global == plan.total {
+                    snapshots.push((global, attacks.clone()));
+                }
+            }
+            Ok(ShardPartial { snapshots, attacks })
+        });
+
+    // Fold shards in index order. When shard i holds a checkpoint at
+    // global trace T, the campaign state at T is (all shards < i,
+    // fully absorbed) ⊕ (shard i's snapshot at T): a prefix-merge.
+    // Both operands depend only on the plan, so the progress curve is
+    // worker-count invariant.
+    let mut merged: Vec<CpaAttack> = (0..setup.single_bit_slots)
+        .map(|_| CpaAttack::new(setup.model, setup.points))
+        .collect();
+    let mut progress_per: Vec<Vec<ProgressPoint>> =
+        vec![Vec::with_capacity(base.checkpoints); setup.single_bit_slots];
+    for partial in partials {
+        let partial = partial?;
+        for (global, snapshot) in &partial.snapshots {
+            for (slot, snap) in snapshot.iter().enumerate() {
+                let mut at_checkpoint = merged[slot].clone();
+                at_checkpoint.merge(snap);
+                progress_per[slot].push(ProgressPoint {
+                    traces: *global,
+                    peak_corr: at_checkpoint.peak_correlations_par(exp.workers).to_vec(),
+                });
+            }
+        }
+        for (acc, part) in merged.iter_mut().zip(&partial.attacks) {
+            acc.merge(part);
+        }
+    }
+
+    Ok(assemble_result(
+        base,
+        &setup,
+        &merged,
+        progress_per,
+        exp.workers,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::SensorSource;
+    use slm_fabric::BenignCircuit;
+
+    #[test]
+    fn parallel_campaign_is_worker_count_invariant() {
+        // The whole CpaResult — progress curve, MTD, peaks — must be
+        // bit-identical (PartialEq on every f64) at any worker count.
+        let run = |workers: usize| {
+            let exp = ParallelCpa {
+                base: CpaExperiment {
+                    circuit: BenignCircuit::DualC6288,
+                    source: SensorSource::TdcAll,
+                    traces: 600,
+                    checkpoints: 3,
+                    pilot_traces: 40,
+                    seed: 77,
+                },
+                shard_traces: 175,
+                workers,
+            };
+            run_cpa_parallel(&exp).unwrap()
+        };
+        let serial = run(1);
+        let wide = run(3);
+        assert_eq!(serial, wide);
+        assert_eq!(serial.traces, 600);
+        // 600/3 = 200-trace checkpoints plus the final partial shard
+        // boundary at 600 (= a checkpoint) ⇒ 3 progress points.
+        assert_eq!(serial.progress.len(), 3);
+        assert_eq!(serial.progress.last().unwrap().traces, 600);
+    }
+
+    #[test]
+    fn parallel_tdc_campaign_recovers_key() {
+        let exp = ParallelCpa {
+            base: CpaExperiment {
+                circuit: BenignCircuit::DualC6288,
+                source: SensorSource::TdcAll,
+                traces: 4_000,
+                checkpoints: 8,
+                pilot_traces: 100,
+                seed: 7,
+            },
+            shard_traces: 500,
+            workers: 0,
+        };
+        let r = run_cpa_parallel(&exp).unwrap();
+        assert_eq!(r.recovered_key_byte, Some(r.correct_key_byte));
+        let mtd = r.mtd.expect("TDC should disclose the key");
+        assert!(mtd <= 4_000, "MTD {mtd} should be within budget");
+        assert_eq!(r.final_peaks.len(), 256);
+    }
+
+    #[test]
+    fn default_shard_size_covers_budget() {
+        let base = CpaExperiment {
+            circuit: BenignCircuit::Alu192,
+            source: SensorSource::TdcAll,
+            traces: 1000,
+            checkpoints: 4,
+            pilot_traces: 10,
+            seed: 1,
+        };
+        let exp = ParallelCpa::new(base).with_workers(2);
+        assert_eq!(exp.shard_traces, 62);
+        let plan = exp.plan();
+        assert_eq!(plan.total, 1000);
+        assert_eq!(plan.shards().iter().map(|s| s.traces).sum::<u64>(), 1000);
+    }
+}

@@ -1,5 +1,6 @@
 //! Correlation power analysis against the AES last round.
 
+use crate::error::CpaError;
 use serde::{Deserialize, Serialize};
 use slm_aes::soft::INV_SBOX;
 
@@ -30,6 +31,18 @@ impl LastRoundModel {
     #[inline]
     pub fn hypothesis(&self, ct: &[u8; 16], k: u8) -> bool {
         (INV_SBOX[(ct[self.ct_byte] ^ k) as usize] >> self.bit) & 1 == 1
+    }
+
+    /// The value→hypothesis lookup table: entry `v` is the predicted
+    /// bit for a trace whose attacked ciphertext byte XOR candidate is
+    /// `v`. Candidate `k` maps bin `c` to `table[c ^ k]`, so one table
+    /// serves all 256 candidates of a correlation evaluation.
+    pub fn hypothesis_table(&self) -> [bool; 256] {
+        let mut table = [false; 256];
+        for (v, slot) in table.iter_mut().enumerate() {
+            *slot = (INV_SBOX[v] >> self.bit) & 1 == 1;
+        }
+        table
     }
 }
 
@@ -88,6 +101,35 @@ impl CpaAttack {
     #[inline]
     pub fn add_trace(&mut self, ct: &[u8; 16], samples: &[f64]) {
         assert_eq!(samples.len(), self.points, "trace point count mismatch");
+        self.add_trace_unchecked(ct, samples);
+    }
+
+    /// Absorbs one trace, rejecting a malformed one instead of
+    /// panicking.
+    ///
+    /// Campaign code paths feed the accumulator from a transport; a
+    /// frame that passes CRC and geometry validation can still carry
+    /// the wrong number of points. This variant lets the caller
+    /// quarantine such a record and keep the campaign alive.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::PointCountMismatch`] when `samples.len()` differs
+    /// from the configured point count; the accumulator is unchanged.
+    #[inline]
+    pub fn try_add_trace(&mut self, ct: &[u8; 16], samples: &[f64]) -> Result<(), CpaError> {
+        if samples.len() != self.points {
+            return Err(CpaError::PointCountMismatch {
+                expected: self.points,
+                got: samples.len(),
+            });
+        }
+        self.add_trace_unchecked(ct, samples);
+        Ok(())
+    }
+
+    #[inline]
+    fn add_trace_unchecked(&mut self, ct: &[u8; 16], samples: &[f64]) {
         let c = ct[self.model.ct_byte] as usize;
         self.bin_count[c] += 1;
         let row = &mut self.bin_sum[c * self.points..(c + 1) * self.points];
@@ -98,30 +140,84 @@ impl CpaAttack {
         self.traces += 1;
     }
 
-    /// Pearson correlation of every key candidate at every point:
-    /// `result[k][p]`.
-    pub fn correlations(&self) -> Vec<Vec<f64>> {
-        let n = self.traces as f64;
-        let mut total_sum = vec![0.0; self.points];
+    /// Folds another accumulator into this one, as if its traces had
+    /// been absorbed here.
+    ///
+    /// Every field of the binned representation — bin counts, per-bin
+    /// point sums, sums of squares, trace count — is additive, so a
+    /// campaign can capture shards on independent workers and merge
+    /// the partials afterwards. Merging shard partials *in shard
+    /// order* reproduces the sequential shard-by-shard run bit for
+    /// bit, which is the parallel campaign determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::IncompatibleMerge`] when the hypothesis models or
+    /// point counts differ; this accumulator is unchanged.
+    pub fn try_merge(&mut self, other: &CpaAttack) -> Result<(), CpaError> {
+        if self.model != other.model || self.points != other.points {
+            return Err(CpaError::IncompatibleMerge {
+                detail: format!(
+                    "model {:?}/{} points vs {:?}/{} points",
+                    self.model, self.points, other.model, other.points
+                ),
+            });
+        }
+        for (a, b) in self.bin_count.iter_mut().zip(&other.bin_count) {
+            *a += b;
+        }
+        for (a, b) in self.bin_sum.iter_mut().zip(&other.bin_sum) {
+            *a += b;
+        }
+        for (a, b) in self.sum_sq.iter_mut().zip(&other.sum_sq) {
+            *a += b;
+        }
+        self.traces += other.traces;
+        Ok(())
+    }
+
+    /// [`CpaAttack::try_merge`] for accumulators known to be
+    /// compatible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hypothesis models or point counts differ.
+    pub fn merge(&mut self, other: &CpaAttack) {
+        self.try_merge(other)
+            .expect("merged accumulators must share model and geometry");
+    }
+
+    /// Per-point sum of trace values over all bins.
+    fn total_sum(&self) -> Vec<f64> {
+        let mut total = vec![0.0; self.points];
         for c in 0..256 {
             let row = &self.bin_sum[c * self.points..(c + 1) * self.points];
-            for (acc, &x) in total_sum.iter_mut().zip(row) {
+            for (acc, &x) in total.iter_mut().zip(row) {
                 *acc += x;
             }
         }
-        let mut out = Vec::with_capacity(256);
-        for k in 0..=255u8 {
-            // Candidate k sends bin c to hypothesis hyp(c): fold bins.
+        total
+    }
+
+    /// Correlation rows for a contiguous range of key candidates. One
+    /// scratch buffer serves the whole range, and the bin→hypothesis
+    /// mapping comes from the model's 256-entry lookup table instead
+    /// of a per-bin S-box evaluation.
+    fn correlations_for(&self, candidates: std::ops::Range<usize>) -> Vec<Vec<f64>> {
+        let n = self.traces as f64;
+        let total_sum = self.total_sum();
+        let hyp = self.model.hypothesis_table();
+        let mut s1 = vec![0.0; self.points];
+        let mut out = Vec::with_capacity(candidates.len());
+        for k in candidates {
+            // Candidate k sends bin c to hypothesis hyp[c ^ k]: fold bins.
             let mut n1 = 0u64;
-            let mut s1 = vec![0.0; self.points];
+            s1.fill(0.0);
             for c in 0..256usize {
                 if self.bin_count[c] == 0 {
                     continue;
                 }
-                // hypothesis depends only on the ct byte value
-                let mut ct = [0u8; 16];
-                ct[self.model.ct_byte] = c as u8;
-                if self.model.hypothesis(&ct, k) {
+                if hyp[c ^ k] {
                     n1 += self.bin_count[c];
                     let row = &self.bin_sum[c * self.points..(c + 1) * self.points];
                     for (acc, &x) in s1.iter_mut().zip(row) {
@@ -146,9 +242,41 @@ impl CpaAttack {
         out
     }
 
+    /// Pearson correlation of every key candidate at every point:
+    /// `result[k][p]`.
+    pub fn correlations(&self) -> Vec<Vec<f64>> {
+        self.correlations_for(0..256)
+    }
+
+    /// [`CpaAttack::correlations`] evaluated across `workers` threads
+    /// (0 = machine parallelism). Candidates are split into contiguous
+    /// blocks, each computed exactly as the serial evaluation would,
+    /// so the result is bit-identical at any worker count.
+    pub fn correlations_par(&self, workers: usize) -> Vec<Vec<f64>> {
+        if slm_par::resolve_workers(workers) <= 1 {
+            return self.correlations();
+        }
+        const BLOCK: usize = 32;
+        slm_par::par_map_indexed(workers, 256 / BLOCK, |b| {
+            self.correlations_for(b * BLOCK..(b + 1) * BLOCK)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Max |r| over points for every candidate.
     pub fn peak_correlations(&self) -> [f64; 256] {
-        let corrs = self.correlations();
+        Self::peaks_of(&self.correlations())
+    }
+
+    /// [`CpaAttack::peak_correlations`] evaluated across `workers`
+    /// threads; bit-identical to the serial evaluation.
+    pub fn peak_correlations_par(&self, workers: usize) -> [f64; 256] {
+        Self::peaks_of(&self.correlations_par(workers))
+    }
+
+    fn peaks_of(corrs: &[Vec<f64>]) -> [f64; 256] {
         let mut out = [0.0f64; 256];
         for (k, row) in corrs.iter().enumerate() {
             out[k] = row.iter().fold(0.0f64, |m, r| m.max(r.abs()));
@@ -398,6 +526,96 @@ mod tests {
         let mut bad = good;
         bad.model.ct_byte = 99;
         assert!(CpaAttack::resume(bad).is_err());
+    }
+
+    #[test]
+    fn try_add_trace_rejects_and_leaves_state_untouched() {
+        let mut attack = CpaAttack::new(LastRoundModel::paper_target(), 2);
+        attack.add_trace(&[1; 16], &[0.5, 0.25]);
+        let before = attack.clone();
+        let err = attack.try_add_trace(&[1; 16], &[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::CpaError::PointCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(attack, before, "rejected trace must not perturb state");
+        attack.try_add_trace(&[1; 16], &[0.5, 0.25]).unwrap();
+        assert_eq!(attack.traces(), 2);
+    }
+
+    #[test]
+    fn merge_equals_sequential_absorption() {
+        // Dyadic sample values keep every f64 sum exact, so the merged
+        // partials must equal the single-accumulator run bit for bit.
+        let model = LastRoundModel::paper_target();
+        let key = [0x3fu8; 16];
+        let mut rng = Rng64::new(21);
+        let records: Vec<([u8; 16], [f64; 2])> = (0..900)
+            .map(|_| {
+                let mut pt = [0u8; 16];
+                rng.fill_bytes(&mut pt);
+                let ct = soft::encrypt(&key, &pt);
+                let x = [
+                    (rng.next_u64() % 64) as f64 / 8.0,
+                    (rng.next_u64() % 64) as f64 / 8.0,
+                ];
+                (ct, x)
+            })
+            .collect();
+        let mut whole = CpaAttack::new(model, 2);
+        for (ct, x) in &records {
+            whole.add_trace(ct, x);
+        }
+        let mut merged = CpaAttack::new(model, 2);
+        for chunk in records.chunks(250) {
+            let mut part = CpaAttack::new(model, 2);
+            for (ct, x) in chunk {
+                part.add_trace(ct, x);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.correlations(), whole.correlations());
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_accumulators() {
+        let mut a = CpaAttack::new(LastRoundModel::paper_target(), 2);
+        let b = CpaAttack::new(LastRoundModel::paper_target(), 3);
+        assert!(a.try_merge(&b).is_err());
+        let c = CpaAttack::new(LastRoundModel { ct_byte: 5, bit: 1 }, 2);
+        assert!(a.try_merge(&c).is_err());
+        let d = CpaAttack::new(LastRoundModel::paper_target(), 2);
+        assert!(a.try_merge(&d).is_ok());
+    }
+
+    #[test]
+    fn parallel_correlations_are_bit_identical() {
+        let (attack, _) = run_attack(1.0, 2_000, 17);
+        let serial = attack.correlations();
+        for workers in [1, 2, 3, 8] {
+            assert_eq!(attack.correlations_par(workers), serial);
+            assert_eq!(
+                attack.peak_correlations_par(workers),
+                attack.peak_correlations()
+            );
+        }
+    }
+
+    #[test]
+    fn hypothesis_table_matches_hypothesis() {
+        let model = LastRoundModel { ct_byte: 2, bit: 5 };
+        let table = model.hypothesis_table();
+        for c in 0..=255u8 {
+            for k in [0u8, 1, 77, 255] {
+                let mut ct = [0u8; 16];
+                ct[2] = c;
+                assert_eq!(table[(c ^ k) as usize], model.hypothesis(&ct, k));
+            }
+        }
     }
 
     #[test]

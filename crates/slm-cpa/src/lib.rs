@@ -43,6 +43,7 @@
 
 mod attack;
 mod bits;
+mod error;
 mod mtd;
 mod multibyte;
 mod postprocess;
@@ -51,6 +52,7 @@ mod tvla;
 
 pub use attack::{CpaAttack, CpaCheckpoint, LastRoundModel};
 pub use bits::{common_mode_polarity, BitActivity, BitCensus};
+pub use error::CpaError;
 pub use mtd::{measurements_to_disclosure, rank_progress, ProgressPoint};
 pub use multibyte::MultiByteCpa;
 pub use postprocess::PostProcessor;

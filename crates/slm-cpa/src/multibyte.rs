@@ -7,6 +7,7 @@
 //! obtain the master key. This module completes that chain.
 
 use crate::attack::{CpaAttack, LastRoundModel};
+use crate::error::CpaError;
 use serde::{Deserialize, Serialize};
 use slm_aes::soft;
 
@@ -45,6 +46,62 @@ impl MultiByteCpa {
         }
     }
 
+    /// Absorbs one trace into all sixteen attacks, rejecting a
+    /// malformed one instead of panicking (see
+    /// [`CpaAttack::try_add_trace`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::PointCountMismatch`] when the sample count is
+    /// wrong; no attack absorbs the trace.
+    pub fn try_add_trace(&mut self, ct: &[u8; 16], samples: &[f64]) -> Result<(), CpaError> {
+        if samples.len() != self.attacks[0].points() {
+            return Err(CpaError::PointCountMismatch {
+                expected: self.attacks[0].points(),
+                got: samples.len(),
+            });
+        }
+        self.add_trace(ct, samples);
+        Ok(())
+    }
+
+    /// Folds another sixteen-byte accumulator into this one, byte by
+    /// byte (see [`CpaAttack::try_merge`] for the merge algebra and
+    /// determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::IncompatibleMerge`] when any per-byte pair is
+    /// incompatible; bytes already merged before the mismatch was
+    /// detected are **not** rolled back, so treat an error as fatal
+    /// for this accumulator.
+    pub fn try_merge(&mut self, other: &MultiByteCpa) -> Result<(), CpaError> {
+        if self.attacks[0].points() != other.attacks[0].points() {
+            return Err(CpaError::IncompatibleMerge {
+                detail: format!(
+                    "{} points vs {} points",
+                    self.attacks[0].points(),
+                    other.attacks[0].points()
+                ),
+            });
+        }
+        for (a, b) in self.attacks.iter_mut().zip(&other.attacks) {
+            a.try_merge(b)?;
+        }
+        Ok(())
+    }
+
+    /// [`MultiByteCpa::try_merge`] for accumulators known to be
+    /// compatible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point counts or per-byte models differ.
+    pub fn merge(&mut self, other: &MultiByteCpa) {
+        self.try_merge(other)
+            .expect("merged accumulators must share geometry");
+    }
+
     /// The leading candidate and its peak |r| for each key byte.
     pub fn best_candidates(&self) -> [(u8, f64); 16] {
         let mut out = [(0u8, 0.0f64); 16];
@@ -52,6 +109,36 @@ impl MultiByteCpa {
             out[b] = attack.best_candidate();
         }
         out
+    }
+
+    /// [`MultiByteCpa::best_candidates`] with the 16 × 256-candidate
+    /// correlation evaluation spread across `workers` threads (0 =
+    /// machine parallelism). Each byte's evaluation is computed
+    /// exactly as the serial path would, so the result is
+    /// bit-identical at any worker count.
+    pub fn best_candidates_par(&self, workers: usize) -> [(u8, f64); 16] {
+        let peaks = slm_par::par_map(workers, &self.attacks, CpaAttack::peak_correlations);
+        let mut out = [(0u8, 0.0f64); 16];
+        for (b, peak) in peaks.iter().enumerate() {
+            let mut best = 0usize;
+            for k in 1..256 {
+                if peak[k] > peak[best] {
+                    best = k;
+                }
+            }
+            out[b] = (best as u8, peak[best]);
+        }
+        out
+    }
+
+    /// [`MultiByteCpa::recovered_round_key`] evaluated across
+    /// `workers` threads.
+    pub fn recovered_round_key_par(&self, workers: usize) -> [u8; 16] {
+        let mut k10 = [0u8; 16];
+        for (b, (k, _)) in self.best_candidates_par(workers).iter().enumerate() {
+            k10[b] = *k;
+        }
+        k10
     }
 
     /// The recovered last round key (leading candidate per byte).

@@ -148,4 +148,126 @@ proptest! {
         }
         prop_assert!(t.max_abs_t() > 4.5, "t = {}", t.max_abs_t());
     }
+
+    /// A sharded campaign merged from parallel partials is bit-identical
+    /// (`==`) to the serial shard-by-shard run, for any shard size,
+    /// trace budget and worker count. Shards are the unit of
+    /// determinism: each shard's records depend only on
+    /// `mix_seed(master, shard.index)`, so the worker count can never
+    /// leak into the result.
+    #[test]
+    fn sharded_campaign_matches_serial(master in any::<u64>(),
+                                       total in 1u64..600,
+                                       shard_size in 1u64..200,
+                                       workers in 1usize..9) {
+        let model = LastRoundModel::paper_target();
+        let plan = slm_par::ShardPlan::new(total, shard_size);
+        let shards = plan.shards();
+        let capture = |shard: &slm_par::ShardSpec| {
+            let mut part = CpaAttack::new(model, 2);
+            let mut rng = Rng64::new(slm_par::mix_seed(master, shard.index as u64));
+            for _ in 0..shard.traces {
+                let mut ct = [0u8; 16];
+                rng.fill_bytes(&mut ct);
+                // dyadic samples: every partial sum is exact in f64
+                let x = [
+                    (rng.next_u64() % 64) as f64 / 8.0,
+                    (rng.next_u64() % 64) as f64 / 8.0,
+                ];
+                part.add_trace(&ct, &x);
+            }
+            part
+        };
+
+        // serial reference: shards captured and absorbed in index order
+        let mut serial = CpaAttack::new(model, 2);
+        for shard in &shards {
+            serial.merge(&capture(shard));
+        }
+
+        // parallel run: capture on `workers` threads, merge in shard order
+        let partials = slm_par::par_map(workers, &shards, capture);
+        let mut merged = CpaAttack::new(model, 2);
+        for part in &partials {
+            merged.merge(part);
+        }
+
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.correlations(), serial.correlations());
+        prop_assert_eq!(merged.traces(), total);
+    }
+
+    /// Merge is commutative and associative on the accumulator state.
+    /// Sample values are dyadic rationals (multiples of 1/8, bounded),
+    /// so every f64 sum is exact and the algebra holds bit-identically —
+    /// not merely to within rounding.
+    #[test]
+    fn merge_is_commutative_and_associative(seed in any::<u64>(),
+                                            na in 1usize..120,
+                                            nb in 1usize..120,
+                                            nc in 1usize..120) {
+        let model = LastRoundModel::paper_target();
+        let mut rng = Rng64::new(seed);
+        let mut fill = |n: usize| {
+            let mut a = CpaAttack::new(model, 2);
+            for _ in 0..n {
+                let mut ct = [0u8; 16];
+                rng.fill_bytes(&mut ct);
+                let x = [
+                    (rng.next_u64() % 64) as f64 / 8.0,
+                    (rng.next_u64() % 64) as f64 / 8.0,
+                ];
+                a.add_trace(&ct, &x);
+            }
+            a
+        };
+        let (a, b, c) = (fill(na), fill(nb), fill(nc));
+
+        // commutativity: a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // identity: merging an empty accumulator is a no-op
+        let mut with_empty = a.clone();
+        with_empty.merge(&CpaAttack::new(model, 2));
+        prop_assert_eq!(&with_empty, &a);
+    }
+
+    /// The sixteen-byte accumulator merges exactly like its per-byte
+    /// parts, and the parallel candidate evaluation agrees with the
+    /// serial one at any worker count.
+    #[test]
+    fn multibyte_merge_and_parallel_eval(seed in any::<u64>(), workers in 1usize..9) {
+        let mut rng = Rng64::new(seed);
+        let mut fill = |n: usize| {
+            let mut m = MultiByteCpa::new(0, 1);
+            for _ in 0..n {
+                let mut ct = [0u8; 16];
+                rng.fill_bytes(&mut ct);
+                m.add_trace(&ct, &[(rng.next_u64() % 64) as f64 / 8.0]);
+            }
+            m
+        };
+        let (a, b) = (fill(150), fill(170));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.traces(), 320);
+        prop_assert_eq!(merged.best_candidates_par(workers), merged.best_candidates());
+        prop_assert_eq!(
+            merged.recovered_round_key_par(workers),
+            merged.recovered_round_key()
+        );
+    }
 }

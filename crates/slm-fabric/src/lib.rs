@@ -53,9 +53,15 @@ pub use circuit::{BenignCircuit, BuiltCircuit};
 pub use clock::{ClockSpec, Mmcm};
 pub use error::{FabricError, TransportError};
 pub use faults::{FaultInjector, FaultPlan, FaultStats};
-pub use remote::{CampaignDriver, CampaignStats, QuarantinedTrace, RemoteSession, RetryPolicy};
+pub use remote::{
+    CampaignDriver, CampaignStats, QuarantinedTrace, RemoteSession, RetryPolicy, ShardOutcome,
+    ShardedCampaign,
+};
+// Shard planning vocabulary, re-exported so campaign callers need not
+// depend on slm-par directly.
 pub use scenario::{
     ActivityTrace, AesActivity, CaptureRecord, FabricConfig, FenceConfig, MultiTenantFabric,
     RoSchedule,
 };
+pub use slm_par::{ShardPlan, ShardSpec};
 pub use uart::{crc16, DecodeOutcome, LinkStats, UartFrame, UartLink};

@@ -54,6 +54,31 @@ pub struct FabricConfig {
     pub seed: u64,
 }
 
+impl FabricConfig {
+    /// The same setup re-seeded for shard `index` of a sharded
+    /// campaign.
+    ///
+    /// Every noise stream in the fabric — plaintext generation, sensor
+    /// jitter, TDC jitter, the active fence if mounted — gets an
+    /// independent lane derived with [`slm_par::mix_seed`], so shards
+    /// are statistically independent captures of the *same* physical
+    /// setup. The mapping depends only on `(config, index)`, never on
+    /// which worker executes the shard: that purity is what makes a
+    /// parallel campaign bit-identical to the serial shard-by-shard
+    /// run.
+    pub fn for_shard(&self, index: usize) -> FabricConfig {
+        let lane = index as u64;
+        let mut config = self.clone();
+        config.seed = slm_par::mix_seed(self.seed, lane);
+        config.sensor.seed = slm_par::mix_seed(self.sensor.seed, lane);
+        config.tdc.seed = slm_par::mix_seed(self.tdc.seed, lane);
+        if let Some(fence) = &mut config.fence {
+            fence.seed = slm_par::mix_seed(fence.seed, lane);
+        }
+        config
+    }
+}
+
 impl Default for FabricConfig {
     fn default() -> Self {
         FabricConfig {

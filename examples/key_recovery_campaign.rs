@@ -8,14 +8,30 @@
 //! cargo run --release --example key_recovery_campaign
 //! # reduced scale:
 //! cargo run --release --example key_recovery_campaign -- --quick
+//! # pin the capture pool (default: all cores; results are identical
+//! # at any thread count):
+//! cargo run --release --example key_recovery_campaign -- --threads 4
 //! ```
 
-use slm_core::experiments::{run_cpa, CpaExperiment, SensorSource};
+use slm_core::experiments::{run_cpa_parallel, CpaExperiment, ParallelCpa, SensorSource};
 use slm_core::report;
 use slm_fabric::BenignCircuit;
 
+/// Parses `--threads N` (0 or absent = machine parallelism).
+fn threads_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let raw = args.next().expect("--threads needs a count");
+            return raw.parse().expect("--threads: not a count");
+        }
+    }
+    0
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_flag();
     let scale = if quick { 10 } else { 1 };
 
     let campaigns: Vec<(&str, BenignCircuit, SensorSource, u64)> = vec![
@@ -62,16 +78,17 @@ fn main() {
     let mut summary = Vec::new();
     for (label, circuit, source, traces) in campaigns {
         println!("== {label} ({traces} traces) ==");
-        let exp = CpaExperiment {
+        let exp = ParallelCpa::new(CpaExperiment {
             circuit,
             source,
             traces,
             checkpoints: 20,
             pilot_traces: 400,
             seed: 0xc0ffee,
-        };
+        })
+        .with_workers(threads);
         let start = std::time::Instant::now();
-        let r = run_cpa(&exp).expect("fabric builds");
+        let r = run_cpa_parallel(&exp).expect("fabric builds");
         let ok = r.recovered_key_byte == Some(r.correct_key_byte);
         println!(
             "  recovered: {}  mtd: {:?}  bits of interest: {}  selected bit: {:?}  ({:.1?})",

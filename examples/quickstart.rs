@@ -4,13 +4,31 @@
 //! Run with:
 //! ```sh
 //! cargo run --release --example quickstart
+//! # pin the capture pool (default: all cores; results are identical
+//! # at any thread count):
+//! cargo run --release --example quickstart -- --threads 4
 //! ```
 
-use slm_core::experiments::{ro_response, run_cpa, CpaExperiment, SensorSource};
+use slm_core::experiments::{
+    ro_response, run_cpa_parallel, CpaExperiment, ParallelCpa, SensorSource,
+};
 use slm_core::report;
 use slm_fabric::BenignCircuit;
 
+/// Parses `--threads N` (0 or absent = machine parallelism).
+fn threads_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let raw = args.next().expect("--threads needs a count");
+            return raw.parse().expect("--threads: not a count");
+        }
+    }
+    0
+}
+
 fn main() {
+    let threads = threads_flag();
     // 1. The preliminary experiment (paper Fig. 5/6): pulse 8000 ring
     //    oscillators at 4 MHz and watch the overclocked benign circuit's
     //    endpoints fluctuate alongside the reference TDC.
@@ -32,17 +50,20 @@ fn main() {
         report::series_table("benign HW (blue series)", "sample", "hw", &hw[..60])
     );
 
-    // 2. A miniature CPA campaign through the TDC (paper Fig. 9).
+    // 2. A miniature CPA campaign through the TDC (paper Fig. 9),
+    //    sharded across the capture pool. The result is bit-identical
+    //    at any --threads value.
     println!("\n== CPA on AES via the TDC (Fig. 9, reduced scale) ==");
-    let exp = CpaExperiment {
+    let exp = ParallelCpa::new(CpaExperiment {
         circuit: BenignCircuit::DualC6288,
         source: SensorSource::TdcAll,
         traces: 5_000,
         checkpoints: 10,
         pilot_traces: 100,
         seed: 2,
-    };
-    let result = run_cpa(&exp).expect("fabric builds");
+    })
+    .with_workers(threads);
+    let result = run_cpa_parallel(&exp).expect("fabric builds");
     println!(
         "correct key byte {:#04x}; recovered {:?}; traces to disclosure {:?}",
         result.correct_key_byte, result.recovered_key_byte, result.mtd

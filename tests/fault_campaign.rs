@@ -45,7 +45,13 @@ fn run_campaign(session: RemoteSession, traces: u64) -> (CpaAttack, u64, Campaig
                 for (dst, &d) in buf.iter_mut().zip(&rec.tdc) {
                     *dst = f64::from(d);
                 }
-                attack.add_trace(&rec.ciphertext, &buf);
+                // A validated frame always carries a full window; a
+                // short one would be a framing bug, and `try_add_trace`
+                // turns it into a quarantine instead of an abort.
+                let samples = &buf[..rec.tdc.len().min(buf.len())];
+                attack
+                    .try_add_trace(&rec.ciphertext, samples)
+                    .expect("validated frames carry full windows");
             }
             Err(FabricError::Transport(TransportError::RetriesExhausted { .. })) => {
                 abandoned += 1;

@@ -30,6 +30,8 @@ OPTIONS:
     --bench FILE       scan an ISCAS-85 .bench netlist
     --clock-mhz F      additionally run the strict timing check at F MHz
     --jobs N           scan designs on N threads (0 = all cores; default 0)
+    --metrics FILE     write a JSON metrics report of the scan to FILE
+                       (per-pass wall time, findings by severity)
     --compact          emit compact JSON instead of pretty-printed
     --list-passes      print the structural pass pipeline and exit";
 
@@ -69,6 +71,7 @@ struct Options {
     bench: Option<String>,
     clock_mhz: Option<f64>,
     jobs: usize,
+    metrics: Option<String>,
     compact: bool,
     list_passes: bool,
 }
@@ -104,6 +107,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("--jobs: not a count: {raw}"))?;
             }
+            "--metrics" => {
+                opts.metrics = Some(it.next().ok_or("--metrics needs a file path")?.clone());
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}\n\n{USAGE}")),
         }
@@ -128,8 +134,10 @@ fn scan_one(
     nl: &Netlist,
     malicious: Option<bool>,
     clock_mhz: Option<f64>,
+    obs: &slm_obs::Obs,
 ) -> ScanEntry {
-    let mut report = pm.run(nl, config);
+    obs.incr("scan.designs");
+    let mut report = pm.run_recorded(nl, config, obs);
     if let Some(mhz) = clock_mhz {
         let ann = DelayModel::default().annotate(nl);
         report.findings.extend(check_timing(&ann, mhz).findings);
@@ -155,22 +163,41 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
         return Ok((listing.join("\n"), 0));
     }
     let config = CheckerConfig::default();
+    // Metrics stay a NullRecorder unless --metrics asked for them, so
+    // the plain scan path records nothing and pays (almost) nothing.
+    let obs = if opts.metrics.is_some() {
+        slm_obs::Obs::memory()
+    } else {
+        slm_obs::Obs::null()
+    };
     let mut reports = Vec::new();
     if opts.zoo {
         // Designs are independent scans; fan them out over the worker
         // pool. par_map preserves input order, so the report sequence
         // (and thus the JSON and exit code) is identical at any job
-        // count.
+        // count. Each scan records into a forked recorder; the frames
+        // are folded back in input order, keeping the metrics report
+        // job-count invariant too.
         let entries = zoo();
-        reports = slm_par::par_map(opts.jobs, &entries, |entry| {
-            scan_one(
+        let scanned = slm_par::par_map(opts.jobs, &entries, |entry| {
+            let scan_obs = obs.fork();
+            let report = scan_one(
                 &pm,
                 &config,
                 &entry.netlist,
                 Some(entry.malicious),
                 opts.clock_mhz,
-            )
+                &scan_obs,
+            );
+            (report, scan_obs.snapshot())
         });
+        reports = scanned
+            .into_iter()
+            .map(|(report, frame)| {
+                obs.absorb(&frame);
+                report
+            })
+            .collect();
     } else if let Some(name) = &opts.generator {
         let entry = zoo()
             .into_iter()
@@ -185,11 +212,12 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
             &entry.netlist,
             Some(entry.malicious),
             opts.clock_mhz,
+            &obs,
         ));
     } else if let Some(path) = &opts.bench {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let nl = slm_netlist::bench::parse(&src, path).map_err(|e| format!("{path}: {e}"))?;
-        reports.push(scan_one(&pm, &config, &nl, None, opts.clock_mhz));
+        reports.push(scan_one(&pm, &config, &nl, None, opts.clock_mhz, &obs));
     }
     // Exit semantics: plain scans fail on any dirty report; matrix
     // assertion fails on any deviation from the expected verdicts.
@@ -230,6 +258,10 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
         serde_json::to_string_pretty(&output)
     }
     .expect("scan output serialization is infallible");
+    if let Some(path) = &opts.metrics {
+        let report = slm_obs::MetricsReport::new("slm-scan", obs.snapshot());
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
     Ok((text, code))
 }
 
@@ -270,6 +302,24 @@ mod tests {
         assert!(run(&argv(&["--zoo", "--clock-mhz", "nope"])).is_err());
         assert!(run(&argv(&["--generator", "no_such_design"])).is_err());
         assert!(run(&argv(&["--zoo", "--jobs", "many"])).is_err());
+        assert!(run(&argv(&["--zoo", "--metrics"])).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_writes_a_scan_report() {
+        let dir = std::env::temp_dir().join("slm_scan_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let (_, code) = run(&argv(&["--zoo", "--metrics", &path_str])).unwrap();
+        assert_eq!(code, 1, "the zoo contains malicious designs");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"label\": \"slm-scan\""), "{json}");
+        assert!(json.contains("scan.designs"));
+        assert!(json.contains("checker.findings.reject"));
+        // per-pass spans are keyed by pass name
+        assert!(json.contains("\"comb-loop\""), "{json}");
     }
 
     #[test]

@@ -74,12 +74,38 @@ impl PassManager {
     /// pass, then applies the suppression rules (which never hide a
     /// `Reject`).
     pub fn run(&self, nl: &Netlist, config: &CheckerConfig) -> CheckReport {
-        let cx = Analysis::new(nl);
+        self.run_recorded(nl, config, &slm_obs::Obs::null())
+    }
+
+    /// [`PassManager::run`] with an observability handle: records a
+    /// wall-time span per pass (named after the pass) and counts
+    /// post-suppression active findings by severity
+    /// (`checker.findings.info` / `.warn` / `.reject`).
+    pub fn run_recorded(
+        &self,
+        nl: &Netlist,
+        config: &CheckerConfig,
+        obs: &slm_obs::Obs,
+    ) -> CheckReport {
+        let cx = {
+            let _span = obs.span("checker.analysis");
+            Analysis::new(nl)
+        };
         let mut report = CheckReport::for_netlist(nl);
         for pass in &self.passes {
+            let _span = obs.span(pass.name());
             pass.run(&cx, config, &mut report.findings);
         }
         apply_suppressions(config, &mut report.findings);
+        if obs.enabled() {
+            for f in report.active() {
+                match f.severity {
+                    crate::diag::Severity::Info => obs.incr("checker.findings.info"),
+                    crate::diag::Severity::Warn => obs.incr("checker.findings.warn"),
+                    crate::diag::Severity::Reject => obs.incr("checker.findings.reject"),
+                }
+            }
+        }
         report
     }
 
@@ -97,6 +123,31 @@ impl PassManager {
         workers: usize,
     ) -> Vec<CheckReport> {
         slm_par::par_map(workers, netlists, |nl| self.run(nl, config))
+    }
+
+    /// [`PassManager::run_many`] with an observability handle. Every
+    /// worker records into a fork of `obs`; the per-design frames are
+    /// absorbed back in input order, so counters and span counts are
+    /// worker-count invariant (only wall-clock durations vary).
+    pub fn run_many_recorded(
+        &self,
+        netlists: &[&Netlist],
+        config: &CheckerConfig,
+        workers: usize,
+        obs: &slm_obs::Obs,
+    ) -> Vec<CheckReport> {
+        let scanned = slm_par::par_map(workers, netlists, |nl| {
+            let worker_obs = obs.fork();
+            let report = self.run_recorded(nl, config, &worker_obs);
+            (report, worker_obs.snapshot())
+        });
+        scanned
+            .into_iter()
+            .map(|(report, frame)| {
+                obs.absorb(&frame);
+                report
+            })
+            .collect()
     }
 }
 

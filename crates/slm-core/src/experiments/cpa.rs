@@ -2,10 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 use slm_cpa::{
-    common_mode_polarity, measurements_to_disclosure, BitActivity, CpaAttack, LastRoundModel,
-    PostProcessor, ProgressPoint,
+    common_mode_polarity, leader_margin, measurements_to_disclosure, BitActivity, CpaAttack,
+    LastRoundModel, PostProcessor, ProgressPoint,
 };
 use slm_fabric::{AesActivity, BenignCircuit, FabricConfig, FabricError, MultiTenantFabric};
+use slm_obs::Obs;
 
 /// Which sensor feeds the attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,7 +81,19 @@ pub struct CpaResult {
 ///
 /// Propagates fabric construction failures.
 pub fn run_cpa(exp: &CpaExperiment) -> Result<CpaResult, FabricError> {
-    run_cpa_inner(exp, |_| {})
+    run_cpa_inner(exp, |_| {}, &Obs::null())
+}
+
+/// [`run_cpa`] with an observability handle: the campaign emits
+/// `cpa.*` counters, per-checkpoint leader margins and PDN droop
+/// telemetry into `obs`. With a [`NullRecorder`](slm_obs::NullRecorder)
+/// handle this is the plain serial campaign.
+///
+/// # Errors
+///
+/// Propagates fabric construction failures.
+pub fn run_cpa_recorded(exp: &CpaExperiment, obs: &Obs) -> Result<CpaResult, FabricError> {
+    run_cpa_inner(exp, |_| {}, obs)
 }
 
 /// Everything the pilot phase decides about a campaign: the hypothesis
@@ -212,27 +225,29 @@ pub(crate) fn absorb_record(
     rec: &slm_fabric::CaptureRecord,
     attacks: &mut [CpaAttack],
     point_buf: &mut [f64],
+    obs: &Obs,
 ) {
+    obs.incr("cpa.traces_absorbed");
     match source {
         SensorSource::TdcAll => {
             for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
                 *dst = f64::from(d);
             }
-            attacks[0].add_trace(&rec.ciphertext, point_buf);
+            attacks[0].add_trace_recorded(&rec.ciphertext, point_buf, obs);
         }
         SensorSource::TdcSingleBit(_) => {
             let b = setup.selected_bit.expect("set by pilot");
             for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
                 *dst = f64::from(u8::from(d as usize >= b));
             }
-            attacks[0].add_trace(&rec.ciphertext, point_buf);
+            attacks[0].add_trace_recorded(&rec.ciphertext, point_buf, obs);
         }
         SensorSource::BenignSingleBit(_) => {
             for (slot, attack) in attacks.iter_mut().enumerate() {
                 for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
                     *dst = f64::from(u8::from(s.bit(slot)));
                 }
-                attack.add_trace(&rec.ciphertext, point_buf);
+                attack.add_trace_recorded(&rec.ciphertext, point_buf, obs);
             }
         }
         SensorSource::BenignHammingWeight => {
@@ -240,7 +255,7 @@ pub(crate) fn absorb_record(
             for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
                 *dst = p.reduce(s);
             }
-            attacks[0].add_trace(&rec.ciphertext, point_buf);
+            attacks[0].add_trace_recorded(&rec.ciphertext, point_buf, obs);
         }
     }
 }
@@ -265,8 +280,8 @@ pub(crate) fn assemble_result(
     } else {
         (0..attacks.len())
             .max_by(|&a, &b| {
-                let ma = leader_margin(&attacks[a]);
-                let mb = leader_margin(&attacks[b]);
+                let ma = leader_margin(&attacks[a].peak_correlations());
+                let mb = leader_margin(&attacks[b].peak_correlations());
                 ma.partial_cmp(&mb).expect("margins are finite")
             })
             .unwrap_or(0)
@@ -310,6 +325,7 @@ pub(crate) fn assemble_result(
 pub(crate) fn run_cpa_inner(
     exp: &CpaExperiment,
     tweak: impl FnOnce(&mut FabricConfig),
+    obs: &Obs,
 ) -> Result<CpaResult, FabricError> {
     let mut config = FabricConfig {
         benign: exp.circuit,
@@ -317,7 +333,10 @@ pub(crate) fn run_cpa_inner(
         ..FabricConfig::default()
     };
     tweak(&mut config);
-    let (mut fabric, setup) = pilot_setup(exp, &config)?;
+    let (mut fabric, setup) = {
+        let _pilot_span = obs.span("cpa.pilot");
+        pilot_setup(exp, &config)?
+    };
 
     // ---- main phase -----------------------------------------------------
     // One attack per single-bit candidate (index 0 used by the other
@@ -332,35 +351,28 @@ pub(crate) fn run_cpa_inner(
     for t in 1..=exp.traces {
         let pt = fabric.random_plaintext();
         let rec = fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints);
-        absorb_record(exp.source, &setup, &rec, &mut attacks, &mut point_buf);
+        absorb_record(exp.source, &setup, &rec, &mut attacks, &mut point_buf, obs);
         if t % checkpoint_every == 0 || t == exp.traces {
             for (slot, attack) in attacks.iter().enumerate() {
+                let peaks = attack.peak_correlations().to_vec();
+                if slot == 0 {
+                    obs.observe("cpa.checkpoint_margin", leader_margin(&peaks));
+                }
                 progress_per[slot].push(ProgressPoint {
                     traces: t,
-                    peak_corr: attack.peak_correlations().to_vec(),
+                    peak_corr: peaks,
                 });
             }
         }
     }
+    if obs.enabled() {
+        let t = fabric.pdn_telemetry();
+        obs.gauge("pdn.v_min", t.v_min);
+        obs.gauge("pdn.v_max", t.v_max);
+        obs.gauge("pdn.settled_streak", t.settled_streak as f64);
+    }
 
     Ok(assemble_result(exp, &setup, &attacks, progress_per, 1))
-}
-
-/// Separation between the leading and runner-up candidates' peak |r| —
-/// the attacker-visible measure of how decisively an attack converged.
-fn leader_margin(attack: &CpaAttack) -> f64 {
-    let peaks = attack.peak_correlations();
-    let mut best = 0.0f64;
-    let mut second = 0.0f64;
-    for &p in peaks.iter() {
-        if p > best {
-            second = best;
-            best = p;
-        } else if p > second {
-            second = p;
-        }
-    }
-    best - second
 }
 
 /// Runs an AES-activity pilot only, returning the activity accumulator —
@@ -423,6 +435,32 @@ mod tests {
         };
         let r = run_cpa(&exp).unwrap();
         assert_eq!(r.recovered_key_byte, Some(r.correct_key_byte));
+    }
+
+    #[test]
+    fn recorded_campaign_emits_cpa_metrics() {
+        let exp = CpaExperiment {
+            circuit: BenignCircuit::DualC6288,
+            source: SensorSource::TdcAll,
+            traces: 120,
+            checkpoints: 3,
+            pilot_traces: 20,
+            seed: 5,
+        };
+        let obs = Obs::memory();
+        let recorded = run_cpa_recorded(&exp, &obs).unwrap();
+        let plain = run_cpa(&exp).unwrap();
+        // Observability must never perturb the result.
+        assert_eq!(recorded, plain);
+        let frame = obs.snapshot();
+        assert_eq!(frame.counter("cpa.traces_absorbed"), 120);
+        assert_eq!(frame.counter("cpa.accumulator_traces"), 120);
+        let margins = &frame.histograms["cpa.checkpoint_margin"];
+        assert_eq!(margins.count, 3);
+        assert_eq!(frame.spans["cpa.pilot"].count, 1);
+        let v_min = frame.gauges["pdn.v_min"].last;
+        let v_max = frame.gauges["pdn.v_max"].last;
+        assert!(v_min < v_max, "droop telemetry: {v_min} .. {v_max}");
     }
 
     #[test]

@@ -255,7 +255,7 @@ pub fn run_cpa_with(
     exp: &CpaExperiment,
     tweak: impl FnOnce(&mut FabricConfig),
 ) -> Result<CpaResult, FabricError> {
-    super::cpa::run_cpa_inner(exp, tweak)
+    super::cpa::run_cpa_inner(exp, tweak, &slm_obs::Obs::null())
 }
 
 /// Masking study: the same campaign against an unmasked and a

@@ -15,13 +15,17 @@ pub use audits::{
     atpg_stimulus_study, floorplan_views, stealth_audit, timing_audit, AtpgStudy, FloorplanView,
     StealthAudit, TimingAudit, TimingVerdict,
 };
-pub use cpa::{aes_pilot_activity, run_cpa, CpaExperiment, CpaResult, SensorSource};
+pub use cpa::{
+    aes_pilot_activity, run_cpa, run_cpa_recorded, CpaExperiment, CpaResult, SensorSource,
+};
 pub use extensions::{
     fence_study, full_key_recovery, masking_study, placement_study, run_cpa_with, tdc_dominates,
     tvla_study, FenceStudy, FullKeyResult, MaskingStudy, PlacementRow, TvlaResult,
 };
 pub use fault_study::{fault_study, FaultRow, FaultStudy, FaultStudyResult};
-pub use parallel::{run_cpa_parallel, run_cpa_parallel_with, ParallelCpa};
+pub use parallel::{
+    run_cpa_parallel, run_cpa_parallel_recorded, run_cpa_parallel_with, ParallelCpa,
+};
 pub use preliminary::{
     activity_study, bit_census, bit_variance, ro_response, ActivityStudy, CensusResult, RoResponse,
     VarianceResult,

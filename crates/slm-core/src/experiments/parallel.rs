@@ -20,8 +20,9 @@
 
 use super::cpa::{absorb_record, assemble_result, pilot_setup, CpaExperiment, CpaResult};
 use serde::{Deserialize, Serialize};
-use slm_cpa::{CpaAttack, ProgressPoint};
+use slm_cpa::{leader_margin, CpaAttack, ProgressPoint};
 use slm_fabric::{FabricConfig, FabricError, MultiTenantFabric, ShardPlan};
+use slm_obs::{MetricsFrame, Obs};
 
 /// A sharded, multi-threaded CPA campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,10 +63,13 @@ impl ParallelCpa {
 }
 
 /// Per-shard capture output: accumulators snapshotted at every global
-/// checkpoint that falls inside the shard, plus the finished partials.
+/// checkpoint that falls inside the shard, plus the finished partials
+/// and the shard's private metrics frame (folded in shard order, so
+/// merged metrics are worker-count invariant too).
 struct ShardPartial {
     snapshots: Vec<(u64, Vec<CpaAttack>)>,
     attacks: Vec<CpaAttack>,
+    frame: MetricsFrame,
 }
 
 /// Runs a sharded CPA campaign on a worker pool.
@@ -74,7 +78,19 @@ struct ShardPartial {
 ///
 /// Propagates fabric construction failures.
 pub fn run_cpa_parallel(exp: &ParallelCpa) -> Result<CpaResult, FabricError> {
-    run_cpa_parallel_with(exp, |_| {})
+    run_cpa_parallel_inner(exp, |_| {}, &Obs::null())
+}
+
+/// [`run_cpa_parallel`] with an observability handle. Each shard
+/// records into a forked sibling recorder; the shard frames are folded
+/// back in shard index order, so the merged metrics — like the
+/// campaign result itself — are bit-identical at any worker count.
+///
+/// # Errors
+///
+/// Propagates fabric construction failures.
+pub fn run_cpa_parallel_recorded(exp: &ParallelCpa, obs: &Obs) -> Result<CpaResult, FabricError> {
+    run_cpa_parallel_inner(exp, |_| {}, obs)
 }
 
 /// [`run_cpa_parallel`] with a fabric-configuration hook applied once
@@ -89,6 +105,14 @@ pub fn run_cpa_parallel_with(
     exp: &ParallelCpa,
     tweak: impl FnOnce(&mut FabricConfig),
 ) -> Result<CpaResult, FabricError> {
+    run_cpa_parallel_inner(exp, tweak, &Obs::null())
+}
+
+fn run_cpa_parallel_inner(
+    exp: &ParallelCpa,
+    tweak: impl FnOnce(&mut FabricConfig),
+    obs: &Obs,
+) -> Result<CpaResult, FabricError> {
     let base = &exp.base;
     let mut config = FabricConfig {
         benign: base.circuit,
@@ -98,33 +122,61 @@ pub fn run_cpa_parallel_with(
     tweak(&mut config);
     // The pilot is shared: one run on the base config decides endpoint
     // selection and post-processing for every shard.
-    let (_pilot_fabric, setup) = pilot_setup(base, &config)?;
+    let (_pilot_fabric, setup) = {
+        let _pilot_span = obs.span("cpa.pilot");
+        pilot_setup(base, &config)?
+    };
 
     let plan = exp.plan();
     let checkpoint_every = (base.traces / base.checkpoints.max(1) as u64).max(1);
     let shards = plan.shards();
     let partials: Vec<Result<ShardPartial, FabricError>> =
         slm_par::par_map(exp.workers, &shards, |spec| {
+            // Each shard records into a private sibling recorder; its
+            // frame travels with the partial and is folded in shard
+            // order below, never racing with other shards.
+            let shard_obs = obs.fork();
             let shard_config = config.for_shard(spec.index);
-            let mut fabric = MultiTenantFabric::new(&shard_config)?;
             let mut attacks: Vec<CpaAttack> = (0..setup.single_bit_slots)
                 .map(|_| CpaAttack::new(setup.model, setup.points))
                 .collect();
             let mut snapshots: Vec<(u64, Vec<CpaAttack>)> = Vec::new();
             let mut point_buf = vec![0.0f64; setup.points];
-            for t in 1..=spec.traces {
-                let pt = fabric.random_plaintext();
-                let rec = fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints);
-                absorb_record(base.source, &setup, &rec, &mut attacks, &mut point_buf);
-                // A progress checkpoint is a *global* trace count; the
-                // shard holding it snapshots its local state there, and
-                // the merge below completes the prefix.
-                let global = spec.start + t;
-                if global % checkpoint_every == 0 || global == plan.total {
-                    snapshots.push((global, attacks.clone()));
+            let fabric = {
+                let _span = shard_obs.span("cpa.shard");
+                let mut fabric = MultiTenantFabric::new(&shard_config)?;
+                for t in 1..=spec.traces {
+                    let pt = fabric.random_plaintext();
+                    let rec = fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints);
+                    absorb_record(
+                        base.source,
+                        &setup,
+                        &rec,
+                        &mut attacks,
+                        &mut point_buf,
+                        &shard_obs,
+                    );
+                    // A progress checkpoint is a *global* trace count;
+                    // the shard holding it snapshots its local state
+                    // there, and the merge below completes the prefix.
+                    let global = spec.start + t;
+                    if global % checkpoint_every == 0 || global == plan.total {
+                        snapshots.push((global, attacks.clone()));
+                    }
                 }
+                fabric
+            };
+            if shard_obs.enabled() {
+                let t = fabric.pdn_telemetry();
+                shard_obs.gauge("pdn.v_min", t.v_min);
+                shard_obs.gauge("pdn.v_max", t.v_max);
+                shard_obs.gauge("pdn.settled_streak", t.settled_streak as f64);
             }
-            Ok(ShardPartial { snapshots, attacks })
+            Ok(ShardPartial {
+                snapshots,
+                attacks,
+                frame: shard_obs.snapshot(),
+            })
         });
 
     // Fold shards in index order. When shard i holds a checkpoint at
@@ -139,18 +191,23 @@ pub fn run_cpa_parallel_with(
         vec![Vec::with_capacity(base.checkpoints); setup.single_bit_slots];
     for partial in partials {
         let partial = partial?;
+        obs.absorb(&partial.frame);
         for (global, snapshot) in &partial.snapshots {
             for (slot, snap) in snapshot.iter().enumerate() {
                 let mut at_checkpoint = merged[slot].clone();
                 at_checkpoint.merge(snap);
+                let peaks = at_checkpoint.peak_correlations_par(exp.workers).to_vec();
+                if slot == 0 {
+                    obs.observe("cpa.checkpoint_margin", leader_margin(&peaks));
+                }
                 progress_per[slot].push(ProgressPoint {
                     traces: *global,
-                    peak_corr: at_checkpoint.peak_correlations_par(exp.workers).to_vec(),
+                    peak_corr: peaks,
                 });
             }
         }
         for (acc, part) in merged.iter_mut().zip(&partial.attacks) {
-            acc.merge(part);
+            acc.merge_recorded(part, obs);
         }
     }
 
@@ -217,6 +274,39 @@ mod tests {
         let mtd = r.mtd.expect("TDC should disclose the key");
         assert!(mtd <= 4_000, "MTD {mtd} should be within budget");
         assert_eq!(r.final_peaks.len(), 256);
+    }
+
+    #[test]
+    fn recorded_parallel_metrics_are_worker_count_invariant() {
+        let run = |workers: usize| {
+            let exp = ParallelCpa {
+                base: CpaExperiment {
+                    circuit: BenignCircuit::DualC6288,
+                    source: SensorSource::TdcAll,
+                    traces: 300,
+                    checkpoints: 3,
+                    pilot_traces: 20,
+                    seed: 13,
+                },
+                shard_traces: 75,
+                workers,
+            };
+            let obs = Obs::memory();
+            let result = run_cpa_parallel_recorded(&exp, &obs).unwrap();
+            (result, obs.snapshot())
+        };
+        let (r1, f1) = run(1);
+        let (r4, f4) = run(4);
+        assert_eq!(r1, r4);
+        // Wall-clock span durations differ; everything else — counters,
+        // gauges, histograms, span counts — must be bit-identical.
+        assert_eq!(f1.deterministic(), f4.deterministic());
+        assert_eq!(f1.counter("cpa.traces_absorbed"), 300);
+        assert_eq!(f1.spans["cpa.shard"].count, 4);
+        assert_eq!(f1.spans["cpa.pilot"].count, 1);
+        assert_eq!(f1.counter("cpa.merge_events"), 4);
+        assert_eq!(f1.counter("cpa.traces_merged"), 300);
+        assert_eq!(f1.histograms["cpa.checkpoint_margin"].count, 3);
     }
 
     #[test]

@@ -187,6 +187,33 @@ impl CpaAttack {
             .expect("merged accumulators must share model and geometry");
     }
 
+    /// [`CpaAttack::add_trace`] with observability: counts the
+    /// absorption under `cpa.accumulator_traces`. The accumulator
+    /// itself cannot hold the handle (it is `Serialize`/`PartialEq`
+    /// checkpoint state), so recorded call sites pass it in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` differs from the configured point count.
+    #[inline]
+    pub fn add_trace_recorded(&mut self, ct: &[u8; 16], samples: &[f64], obs: &slm_obs::Obs) {
+        self.add_trace(ct, samples);
+        obs.incr("cpa.accumulator_traces");
+    }
+
+    /// [`CpaAttack::merge`] with observability: counts the merge under
+    /// `cpa.merge_events` and the traces it brought in under
+    /// `cpa.traces_merged`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hypothesis models or point counts differ.
+    pub fn merge_recorded(&mut self, other: &CpaAttack, obs: &slm_obs::Obs) {
+        self.merge(other);
+        obs.incr("cpa.merge_events");
+        obs.add("cpa.traces_merged", other.traces);
+    }
+
     /// Per-point sum of trace values over all bins.
     fn total_sum(&self) -> Vec<f64> {
         let mut total = vec![0.0; self.points];
@@ -383,6 +410,24 @@ pub struct CpaCheckpoint {
     pub traces: u64,
 }
 
+/// Separation between the leading and runner-up values of a peak-|r|
+/// surface — the attacker-visible measure of how decisively an attack
+/// has converged (and the per-checkpoint margin the observability
+/// layer tracks over a campaign).
+pub fn leader_margin(peaks: &[f64]) -> f64 {
+    let mut best = 0.0f64;
+    let mut second = 0.0f64;
+    for &p in peaks {
+        if p > best {
+            second = best;
+            best = p;
+        } else if p > second {
+            second = p;
+        }
+    }
+    best - second
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +455,28 @@ mod tests {
             );
         }
         (attack, k10[3])
+    }
+
+    #[test]
+    fn leader_margin_separates_best_from_runner_up() {
+        assert_eq!(leader_margin(&[]), 0.0);
+        assert_eq!(leader_margin(&[0.5]), 0.5);
+        let margin = leader_margin(&[0.1, 0.8, 0.3, 0.6]);
+        assert!((margin - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorded_helpers_count_traces_and_merges() {
+        let obs = slm_obs::Obs::memory();
+        let (mut a, _) = run_attack(0.5, 50, 11);
+        let (b, _) = run_attack(0.5, 50, 12);
+        let ct = [0u8; 16];
+        a.add_trace_recorded(&ct, &[0.0, 0.0], &obs);
+        a.merge_recorded(&b, &obs);
+        let frame = obs.snapshot();
+        assert_eq!(frame.counter("cpa.accumulator_traces"), 1);
+        assert_eq!(frame.counter("cpa.merge_events"), 1);
+        assert_eq!(frame.counter("cpa.traces_merged"), 50);
     }
 
     #[test]

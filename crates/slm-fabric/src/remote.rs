@@ -20,6 +20,7 @@ use crate::error::{FabricError, TransportError};
 use crate::faults::{FaultPlan, FaultStats};
 use crate::scenario::{CaptureRecord, FabricConfig, MultiTenantFabric};
 use crate::uart::{LinkStats, UartFrame, UartLink};
+use slm_obs::{MetricsFrame, Obs};
 use slm_par::{ShardPlan, ShardSpec};
 use slm_sensors::SensorSample;
 use std::ops::Range;
@@ -302,12 +303,14 @@ pub struct CampaignStats {
 impl CampaignStats {
     /// Folds another campaign's accounting into this one. Every field
     /// is additive, so the stats of a sharded campaign are the merge of
-    /// its per-shard stats — in any order.
+    /// its per-shard stats — in any order. Counters saturate instead of
+    /// wrapping: a pathological retry storm must never wrap a u64 into
+    /// a plausible-looking small number.
     pub fn absorb(&mut self, other: &CampaignStats) {
-        self.requested += other.requested;
-        self.delivered += other.delivered;
-        self.retries += other.retries;
-        self.quarantined += other.quarantined;
+        self.requested = self.requested.saturating_add(other.requested);
+        self.delivered = self.delivered.saturating_add(other.delivered);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.quarantined = self.quarantined.saturating_add(other.quarantined);
         self.backoff_s += other.backoff_s;
     }
 
@@ -339,6 +342,7 @@ pub struct CampaignDriver {
     key: [u8; 16],
     quarantine: Vec<QuarantinedTrace>,
     stats: CampaignStats,
+    obs: Obs,
 }
 
 impl CampaignDriver {
@@ -357,7 +361,14 @@ impl CampaignDriver {
             key,
             quarantine: Vec::new(),
             stats: CampaignStats::default(),
+            obs: Obs::null(),
         }
+    }
+
+    /// Mounts a metrics recorder; the default is the null recorder.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Captures one validated trace, retrying transport faults and
@@ -369,8 +380,36 @@ impl CampaignDriver {
     /// [`FabricError::Transport`]) when the retry budget runs out;
     /// non-transport fabric errors propagate immediately.
     pub fn capture(&mut self, plaintext: [u8; 16]) -> Result<CaptureRecord, FabricError> {
+        let _span = self.obs.span("campaign.capture");
+        let wire_base = self.obs.enabled().then(|| self.wire_counters());
+        let result = self.capture_inner(plaintext);
+        if let Some(base) = wire_base {
+            // Link/fault/PDN accounting lives in cumulative session
+            // counters; exporting the per-capture delta keeps the
+            // metrics additive under shard merge.
+            let now = self.wire_counters();
+            self.obs
+                .add("uart.resyncs", now.resyncs.saturating_sub(base.resyncs));
+            self.obs.add(
+                "uart.bytes_discarded",
+                now.bytes_discarded.saturating_sub(base.bytes_discarded),
+            );
+            self.obs
+                .add("faults.injected", now.faults.saturating_sub(base.faults));
+            let t = self.session.fabric().pdn_telemetry();
+            self.obs.gauge("pdn.v_min", t.v_min);
+            self.obs.gauge("pdn.v_max", t.v_max);
+            self.obs
+                .gauge("pdn.settled_streak", t.settled_streak as f64);
+        }
+        result
+    }
+
+    /// The retry/validate/quarantine loop behind [`CampaignDriver::capture`].
+    fn capture_inner(&mut self, plaintext: [u8; 16]) -> Result<CaptureRecord, FabricError> {
         let trace_index = self.stats.requested;
         self.stats.requested += 1;
+        self.obs.incr("campaign.requested");
         let mut backoff = self.policy.base_backoff_s;
         let mut last: TransportError = TransportError::NoResponse;
         for attempt in 1..=self.policy.max_attempts {
@@ -380,13 +419,21 @@ impl CampaignDriver {
                 self.session.flush_wire();
                 self.session.charge_idle(backoff);
                 self.stats.backoff_s += backoff;
+                self.obs.incr("campaign.retries");
+                self.obs.observe("campaign.backoff_s", backoff);
                 backoff = (backoff * self.policy.backoff_factor).min(self.policy.max_backoff_s);
                 self.stats.retries += 1;
             }
-            match self.session.host_encrypt(plaintext) {
+            let attempt_result = {
+                let _attempt_span = self.obs.span("fabric.host_encrypt");
+                self.obs.incr("fabric.requests");
+                self.session.host_encrypt(plaintext)
+            };
+            match attempt_result {
                 Ok(rec) => match self.validate(&rec, &plaintext) {
                     Ok(()) => {
                         self.stats.delivered += 1;
+                        self.obs.incr("campaign.delivered");
                         return Ok(rec);
                     }
                     Err(error) => {
@@ -396,6 +443,7 @@ impl CampaignDriver {
                             error: error.clone(),
                         });
                         self.stats.quarantined += 1;
+                        self.obs.incr("campaign.quarantined");
                         last = error;
                     }
                 },
@@ -408,6 +456,19 @@ impl CampaignDriver {
             last: Box::new(last),
         }
         .into())
+    }
+
+    /// Cumulative link-layer counters used for per-capture deltas.
+    fn wire_counters(&self) -> WireCounters {
+        let link = self.session.link_stats();
+        WireCounters {
+            resyncs: link.resyncs,
+            bytes_discarded: link.bytes_discarded,
+            faults: self
+                .session
+                .fault_stats()
+                .map_or(0, FaultStats::total_faults),
+        }
     }
 
     /// Ground-truth validation of a decoded record: ciphertext must
@@ -454,6 +515,15 @@ impl CampaignDriver {
     }
 }
 
+/// Snapshot of the session's cumulative wire counters, taken before
+/// and after a capture to compute per-capture deltas.
+#[derive(Debug, Clone, Copy)]
+struct WireCounters {
+    resyncs: u64,
+    bytes_discarded: u64,
+    faults: u64,
+}
+
 /// Everything produced by one shard of a [`ShardedCampaign`].
 #[derive(Debug, Clone)]
 pub struct ShardOutcome<R> {
@@ -471,6 +541,11 @@ pub struct ShardOutcome<R> {
     /// cost is the *maximum* over shards on enough workers, while the
     /// total rig cost is the sum.
     pub wire_time_s: f64,
+    /// Everything this shard's private recorder accumulated (empty when
+    /// the campaign runs with the null recorder). The campaign folds
+    /// these in shard order, so merged metrics are worker-count
+    /// invariant.
+    pub metrics: MetricsFrame,
 }
 
 /// A capture campaign split into deterministic shards and executed on a
@@ -499,6 +574,10 @@ pub struct ShardedCampaign {
     pub plan: ShardPlan,
     /// Worker threads (0 = machine parallelism).
     pub workers: usize,
+    /// Metrics recorder. Each shard records into a private
+    /// [`Obs::fork`] of it; the frames are folded back in shard order
+    /// after the run.
+    pub obs: Obs,
 }
 
 impl ShardedCampaign {
@@ -512,12 +591,19 @@ impl ShardedCampaign {
             policy: RetryPolicy::default(),
             plan,
             workers: 0,
+            obs: Obs::null(),
         }
     }
 
     /// Mounts a wire-fault profile; shard `i` runs `plan.fork(i)`.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Mounts a metrics recorder; the default is the null recorder.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -562,7 +648,12 @@ impl ShardedCampaign {
                     )?,
                     None => RemoteSession::new(&config, self.endpoints.clone())?,
                 };
-                let mut driver = CampaignDriver::with_policy(session, self.policy);
+                // Every shard records into a private recorder, so the
+                // hot path never contends across workers and the frame
+                // it produces is a pure function of the shard.
+                let shard_obs = self.obs.fork();
+                let mut driver =
+                    CampaignDriver::with_policy(session, self.policy).with_obs(shard_obs.clone());
                 let result = body(spec, &mut driver)?;
                 Ok(ShardOutcome {
                     spec: *spec,
@@ -570,9 +661,27 @@ impl ShardedCampaign {
                     wire_time_s: driver.session().wire_time_s(),
                     stats: *driver.stats(),
                     quarantined: std::mem::take(&mut driver.quarantine),
+                    metrics: shard_obs.snapshot(),
                 })
             });
-        outcomes.into_iter().collect()
+        let outcomes: Vec<ShardOutcome<R>> = outcomes.into_iter().collect::<Result<_, _>>()?;
+        if self.obs.enabled() {
+            // Fold shard telemetry in shard index order (the
+            // determinism contract), then derive the shard-imbalance
+            // view: how unevenly simulated wire time spread over the
+            // plan.
+            for o in &outcomes {
+                self.obs.absorb(&o.metrics);
+                self.obs.observe("campaign.shard_wire_s", o.wire_time_s);
+            }
+            let sum: f64 = outcomes.iter().map(|o| o.wire_time_s).sum();
+            let max = outcomes.iter().map(|o| o.wire_time_s).fold(0.0, f64::max);
+            if sum > 0.0 {
+                let mean = sum / outcomes.len() as f64;
+                self.obs.gauge("campaign.shard_imbalance", max / mean);
+            }
+        }
+        Ok(outcomes)
     }
 
     /// The merged accounting of a run's outcomes.
@@ -820,6 +929,92 @@ mod tests {
         let mut ba = b;
         ba.absorb(&a);
         assert_eq!(ba, ab, "merge order is irrelevant");
+    }
+
+    #[test]
+    fn campaign_stats_absorb_saturates_instead_of_wrapping() {
+        let mut total = CampaignStats {
+            requested: u64::MAX - 1,
+            delivered: u64::MAX,
+            retries: u64::MAX - 2,
+            quarantined: 3,
+            backoff_s: 0.5,
+        };
+        let more = CampaignStats {
+            requested: 10,
+            delivered: 10,
+            retries: 10,
+            quarantined: u64::MAX,
+            backoff_s: 0.25,
+        };
+        total.absorb(&more);
+        assert_eq!(total.requested, u64::MAX);
+        assert_eq!(total.delivered, u64::MAX);
+        assert_eq!(total.retries, u64::MAX);
+        assert_eq!(total.quarantined, u64::MAX);
+        assert_eq!(total.backoff_s, 0.75);
+    }
+
+    #[test]
+    fn driver_records_campaign_metrics() {
+        let obs = Obs::memory();
+        let mut driver = CampaignDriver::new(session((0..4).collect())).with_obs(obs.clone());
+        for i in 0..5u8 {
+            driver.capture([i; 16]).unwrap();
+        }
+        let frame = obs.snapshot();
+        assert_eq!(frame.counter("campaign.requested"), 5);
+        assert_eq!(frame.counter("campaign.delivered"), 5);
+        assert_eq!(frame.counter("fabric.requests"), 5);
+        assert_eq!(frame.counter("campaign.retries"), 0);
+        assert_eq!(frame.spans["campaign.capture"].count, 5);
+        assert_eq!(frame.spans["fabric.host_encrypt"].count, 5);
+        let v_min = frame.gauges["pdn.v_min"];
+        assert!(v_min.last < 1.0, "encryption load droops the rail");
+        assert_eq!(v_min.count, 5);
+    }
+
+    #[test]
+    fn sharded_campaign_metrics_are_worker_count_invariant() {
+        // Retries, backoff, fault and PDN telemetry all flow through
+        // per-shard recorders merged in shard order: the deterministic
+        // view of the merged frame must not depend on the worker count.
+        let plan = FaultPlan::new(5).with_stall(0.2);
+        let run = |workers: usize| {
+            let obs = Obs::memory();
+            let outcomes = ShardedCampaign::new(config(), vec![], ShardPlan::new(8, 2))
+                .with_fault_plan(plan.clone())
+                .with_workers(workers)
+                .with_obs(obs.clone())
+                .run(|spec, driver| {
+                    (0..spec.traces)
+                        .map(|i| driver.capture([spec.start as u8 + i as u8; 16]))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .unwrap();
+            (obs.snapshot(), outcomes)
+        };
+        let (serial_frame, serial) = run(1);
+        let (wide_frame, wide) = run(4);
+        assert_eq!(serial_frame.deterministic(), wide_frame.deterministic());
+        for (a, b) in serial.iter().zip(&wide) {
+            assert_eq!(a.metrics.deterministic(), b.metrics.deterministic());
+        }
+        assert_eq!(serial_frame.counter("campaign.delivered"), 8);
+        assert_eq!(
+            serial_frame.counter("campaign.retries"),
+            CampaignStats::merged(serial.iter().map(|o| &o.stats)).retries,
+            "metric counters agree with the stats ledger"
+        );
+        assert!(
+            serial_frame.gauges.contains_key("campaign.shard_imbalance"),
+            "imbalance gauge recorded"
+        );
+        // A null-recorder campaign produces empty frames.
+        let outcomes = ShardedCampaign::new(config(), vec![], ShardPlan::new(4, 2))
+            .run(|spec, driver| driver.capture([spec.start as u8; 16]))
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.metrics.is_empty()));
     }
 
     #[test]

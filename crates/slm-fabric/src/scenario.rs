@@ -343,6 +343,13 @@ impl MultiTenantFabric {
         [attacker, aes_cycle_current]
     }
 
+    /// Droop extrema and settling accounting of the sensed (attacker)
+    /// PDN region since the fabric was built — the electrical telemetry
+    /// the observability layer exports.
+    pub fn pdn_telemetry(&self) -> slm_pdn::PdnTelemetry {
+        self.pdn.telemetry()
+    }
+
     /// Steps the shared PDN one tick; returns the attacker-region
     /// voltage (what the sensors see).
     fn step_pdn(&mut self, aes_cycle_current: f64) -> f64 {

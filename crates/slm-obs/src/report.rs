@@ -1,0 +1,250 @@
+//! Exporters: the JSON payload behind `--metrics <path>` and the
+//! human-readable table.
+//!
+//! The JSON is hand-rolled (this crate is dependency-free by design):
+//! keys come out of `BTreeMap`s already sorted, floats print via
+//! Rust's shortest-roundtrip `Display` (never scientific notation, so
+//! always a valid JSON number), and non-finite values serialize as
+//! `null`.
+
+use crate::frame::MetricsFrame;
+use std::fmt::Write as _;
+
+/// A labeled, exportable metrics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// What produced the snapshot (campaign name, tool name, …).
+    pub label: String,
+    /// The snapshot itself.
+    pub frame: MetricsFrame,
+}
+
+impl MetricsReport {
+    /// Wraps a frame under a label.
+    pub fn new(label: impl Into<String>, frame: MetricsFrame) -> Self {
+        MetricsReport {
+            label: label.into(),
+            frame,
+        }
+    }
+
+    /// Pretty-printed JSON: sorted keys, two-space indent, stable
+    /// across runs for deterministic frames (golden-file friendly).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"tool\": \"slm-obs\",");
+        let _ = writeln!(out, "  \"label\": {},", json_str(&self.label));
+
+        json_map(&mut out, "counters", &self.frame.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str(",\n");
+        json_map(&mut out, "gauges", &self.frame.gauges, |out, g| {
+            let _ = write!(
+                out,
+                "{{ \"last\": {}, \"min\": {}, \"max\": {}, \"count\": {} }}",
+                json_f64(g.last),
+                json_f64(g.min),
+                json_f64(g.max),
+                g.count
+            );
+        });
+        out.push_str(",\n");
+        json_map(&mut out, "histograms", &self.frame.histograms, |out, h| {
+            let _ = write!(
+                out,
+                "{{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {} }}",
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.mean())
+            );
+        });
+        out.push_str(",\n");
+        json_map(&mut out, "spans", &self.frame.spans, |out, s| {
+            let _ = write!(
+                out,
+                "{{ \"count\": {}, \"total_ns\": {}, \"max_ns\": {} }}",
+                s.count, s.total_ns, s.max_ns
+            );
+        });
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// An aligned plain-text table, one section per metric kind.
+    pub fn to_table(&self) -> String {
+        let f = &self.frame;
+        let mut out = String::new();
+        let _ = writeln!(out, "# metrics: {}", self.label);
+        if f.is_empty() {
+            let _ = writeln!(out, "(nothing recorded)");
+            return out;
+        }
+        if !f.counters.is_empty() {
+            let _ = writeln!(out, "counters");
+            for (name, v) in &f.counters {
+                let _ = writeln!(out, "  {name:<36} {v:>12}");
+            }
+        }
+        if !f.gauges.is_empty() {
+            let _ = writeln!(
+                out,
+                "gauges{:<32} {:>12} {:>12} {:>12}",
+                "", "last", "min", "max"
+            );
+            for (name, g) in &f.gauges {
+                let _ = writeln!(
+                    out,
+                    "  {name:<36} {:>12.6} {:>12.6} {:>12.6}",
+                    g.last, g.min, g.max
+                );
+            }
+        }
+        if !f.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms{:<28} {:>12} {:>12} {:>12} {:>12}",
+                "", "count", "mean", "min", "max"
+            );
+            for (name, h) in &f.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<36} {:>12} {:>12.6} {:>12.6} {:>12.6}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        if !f.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "spans{:<33} {:>12} {:>12} {:>12}",
+                "", "count", "total_ms", "max_ms"
+            );
+            for (name, s) in &f.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<36} {:>12} {:>12.3} {:>12.3}",
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    s.max_ns as f64 / 1e6
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Writes one `"section": { "name": <value>, … }` JSON object (no
+/// trailing newline or comma).
+fn json_map<V>(
+    out: &mut String,
+    section: &str,
+    map: &std::collections::BTreeMap<String, V>,
+    mut value: impl FnMut(&mut String, &V),
+) {
+    let _ = write!(out, "  \"{section}\": {{");
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: ", json_str(name));
+        value(out, v);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+/// A JSON string literal for `s`.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number for `v` (`null` when non-finite). Rust's f64
+/// `Display` is shortest-roundtrip decimal notation, which is always a
+/// valid JSON number.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        let mut f = MetricsFrame::default();
+        f.record_count("campaign.requested", 12);
+        f.record_gauge("pdn.v_min", 0.953125);
+        f.record_observation("campaign.backoff_s", 0.005);
+        f.record_observation("campaign.backoff_s", 0.01);
+        f.record_span("fabric.host_encrypt", 1_500_000);
+        MetricsReport::new("unit \"test\"", f)
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"label\": \"unit \\\"test\\\"\""));
+        assert!(a.contains("\"campaign.requested\": 12"));
+        assert!(a.contains("\"mean\": 0.0075"));
+        assert!(a.contains("\"total_ns\": 1500000"));
+    }
+
+    #[test]
+    fn json_handles_empty_frame_and_non_finite() {
+        let r = MetricsReport::new("empty", MetricsFrame::default());
+        let j = r.to_json();
+        assert!(j.contains("\"counters\": {}"));
+        assert!(j.contains("\"spans\": {}"));
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn table_lists_every_section() {
+        let t = sample().to_table();
+        assert!(t.starts_with("# metrics: unit"));
+        for needle in [
+            "counters",
+            "gauges",
+            "histograms",
+            "spans",
+            "campaign.requested",
+            "pdn.v_min",
+        ] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+        let empty = MetricsReport::new("x", MetricsFrame::default()).to_table();
+        assert!(empty.contains("(nothing recorded)"));
+    }
+}

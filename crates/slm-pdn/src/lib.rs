@@ -49,4 +49,4 @@ pub mod noise;
 mod pdn;
 
 pub use filter::SecondOrderFilter;
-pub use pdn::{MultiRegionPdn, Pdn, PdnConfig};
+pub use pdn::{MultiRegionPdn, Pdn, PdnConfig, PdnTelemetry};

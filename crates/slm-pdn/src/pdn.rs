@@ -42,6 +42,56 @@ impl Default for PdnConfig {
     }
 }
 
+/// Always-on droop telemetry: voltage extrema and settling, tracked
+/// per step at negligible cost (two compares and a branch against the
+/// full filter/noise step).
+///
+/// "Settled" means the observed voltage is within a band of nominal
+/// wide enough to swallow the supply noise (`max(4σ, 1 mV)`);
+/// `settled_streak` counts the consecutive trailing settled steps, so
+/// `settled_streak × dt` is the time the rail has currently been
+/// quiet — the settle-time readout the observability layer exports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PdnTelemetry {
+    /// Lowest voltage observed (deepest droop).
+    pub v_min: f64,
+    /// Highest voltage observed (worst overshoot).
+    pub v_max: f64,
+    /// Steps simulated.
+    pub steps: u64,
+    /// Consecutive trailing steps within the settle band of nominal.
+    pub settled_streak: u64,
+}
+
+impl PdnTelemetry {
+    fn new(v_nominal: f64) -> Self {
+        PdnTelemetry {
+            v_min: v_nominal,
+            v_max: v_nominal,
+            steps: 0,
+            settled_streak: 0,
+        }
+    }
+
+    /// The settle band for a config: wide enough that pure supply
+    /// noise does not reset the streak.
+    fn band(config: &PdnConfig) -> f64 {
+        (4.0 * config.noise_sigma_v).max(1e-3)
+    }
+
+    #[inline]
+    fn update(&mut self, v: f64, v_nominal: f64, band: f64) {
+        self.v_min = self.v_min.min(v);
+        self.v_max = self.v_max.max(v);
+        self.steps += 1;
+        if (v - v_nominal).abs() <= band {
+            self.settled_streak += 1;
+        } else {
+            self.settled_streak = 0;
+        }
+    }
+}
+
 /// One shared supply: total current in, observed voltage out.
 ///
 /// See the crate-level example.
@@ -51,6 +101,8 @@ pub struct Pdn {
     filter: SecondOrderFilter,
     rng: Rng64,
     last_v: f64,
+    telemetry: PdnTelemetry,
+    settle_band: f64,
 }
 
 impl Pdn {
@@ -60,6 +112,8 @@ impl Pdn {
             filter: SecondOrderFilter::new(config.f_natural_hz, config.zeta),
             rng: Rng64::new(config.seed),
             last_v: config.v_nominal,
+            telemetry: PdnTelemetry::new(config.v_nominal),
+            settle_band: PdnTelemetry::band(&config),
             config,
         }
     }
@@ -77,6 +131,8 @@ impl Pdn {
         let droop = self.filter.step(target_droop, dt);
         self.last_v = self.config.v_nominal - droop - self.config.r_fast * current_a
             + self.rng.normal_scaled(self.config.noise_sigma_v);
+        self.telemetry
+            .update(self.last_v, self.config.v_nominal, self.settle_band);
         self.last_v
     }
 
@@ -85,10 +141,18 @@ impl Pdn {
         self.last_v
     }
 
-    /// Resets the dynamic state (not the noise stream position).
+    /// Droop extrema and settling accounting since construction (or
+    /// the last [`Pdn::reset`]).
+    pub fn telemetry(&self) -> PdnTelemetry {
+        self.telemetry
+    }
+
+    /// Resets the dynamic state and telemetry (not the noise stream
+    /// position).
     pub fn reset(&mut self) {
         self.filter.reset();
         self.last_v = self.config.v_nominal;
+        self.telemetry = PdnTelemetry::new(self.config.v_nominal);
     }
 }
 
@@ -108,6 +172,8 @@ pub struct MultiRegionPdn {
     rng: Rng64,
     voltages: Vec<f64>,
     droop_scratch: Vec<f64>,
+    telemetry: PdnTelemetry,
+    settle_band: f64,
 }
 
 impl MultiRegionPdn {
@@ -128,6 +194,8 @@ impl MultiRegionPdn {
             rng: Rng64::new(config.seed),
             voltages: vec![config.v_nominal; regions],
             droop_scratch: vec![0.0; regions],
+            telemetry: PdnTelemetry::new(config.v_nominal),
+            settle_band: PdnTelemetry::band(&config),
             config,
         }
     }
@@ -168,12 +236,22 @@ impl MultiRegionPdn {
             }
             *v = self.config.v_nominal - total + self.rng.normal_scaled(self.config.noise_sigma_v);
         }
+        // Telemetry watches region 0 — the sensed (attacker-visible)
+        // rail in the fabric's layout.
+        self.telemetry
+            .update(self.voltages[0], self.config.v_nominal, self.settle_band);
         &self.voltages
     }
 
     /// The most recent voltage of one region.
     pub fn voltage(&self, region: usize) -> f64 {
         self.voltages[region]
+    }
+
+    /// Droop extrema and settling accounting of region 0 since
+    /// construction.
+    pub fn telemetry(&self) -> PdnTelemetry {
+        self.telemetry
     }
 }
 
@@ -261,6 +339,45 @@ mod tests {
     #[should_panic(expected = "coupling rows")]
     fn bad_coupling_shape_panics() {
         let _ = MultiRegionPdn::new(PdnConfig::default(), 2, vec![vec![1.0, 0.5]]);
+    }
+
+    #[test]
+    fn telemetry_tracks_droop_and_settling() {
+        let cfg = quiet(PdnConfig::default());
+        let mut pdn = Pdn::new(cfg);
+        for _ in 0..3_000 {
+            pdn.step(4.0, DT);
+        }
+        let loaded = pdn.telemetry();
+        assert!(loaded.v_min < 1.0 - 0.04, "droop recorded: {loaded:?}");
+        assert_eq!(loaded.steps, 3_000);
+        assert_eq!(loaded.settled_streak, 0, "rail is loaded, not settled");
+        // Release the load: the rail rings, then settles; the streak
+        // counts only the quiet tail.
+        for _ in 0..400_000 {
+            pdn.step(0.0, DT);
+        }
+        let settled = pdn.telemetry();
+        assert!(settled.v_max > 1.0 + 0.01, "overshoot recorded");
+        assert!(settled.settled_streak > 0, "rail settles: {settled:?}");
+        assert!(settled.settled_streak < settled.steps);
+        pdn.reset();
+        assert_eq!(pdn.telemetry(), PdnTelemetry::new(cfg.v_nominal));
+    }
+
+    #[test]
+    fn multi_region_telemetry_watches_region_zero() {
+        let cfg = quiet(PdnConfig::default());
+        let mut net = MultiRegionPdn::uniform(cfg, 2, 0.5);
+        for _ in 0..3_000 {
+            net.step(&[4.0, 0.0], DT);
+        }
+        let t = net.telemetry();
+        assert_eq!(t.steps, 3_000);
+        assert!(
+            (cfg.v_nominal - t.v_min) > 0.04,
+            "region-0 droop recorded: {t:?}"
+        );
     }
 
     #[test]

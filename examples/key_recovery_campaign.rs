@@ -11,11 +11,15 @@
 //! # pin the capture pool (default: all cores; results are identical
 //! # at any thread count):
 //! cargo run --release --example key_recovery_campaign -- --threads 4
+//! # write a metrics report of every campaign (counters, per-shard
+//! # spans, PDN telemetry) to a JSON file:
+//! cargo run --release --example key_recovery_campaign -- --quick --metrics metrics.json
 //! ```
 
-use slm_core::experiments::{run_cpa_parallel, CpaExperiment, ParallelCpa, SensorSource};
+use slm_core::experiments::{run_cpa_parallel_recorded, CpaExperiment, ParallelCpa, SensorSource};
 use slm_core::report;
 use slm_fabric::BenignCircuit;
+use slm_obs::{MetricsReport, Obs};
 
 /// Parses `--threads N` (0 or absent = machine parallelism).
 fn threads_flag() -> usize {
@@ -29,9 +33,26 @@ fn threads_flag() -> usize {
     0
 }
 
+/// Parses `--metrics PATH`: `Some(path)` enables recording.
+fn metrics_flag() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            return Some(args.next().expect("--metrics needs a file path"));
+        }
+    }
+    None
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = threads_flag();
+    let metrics_path = metrics_flag();
+    let obs = if metrics_path.is_some() {
+        Obs::memory()
+    } else {
+        Obs::null()
+    };
     let scale = if quick { 10 } else { 1 };
 
     let campaigns: Vec<(&str, BenignCircuit, SensorSource, u64)> = vec![
@@ -88,7 +109,7 @@ fn main() {
         })
         .with_workers(threads);
         let start = std::time::Instant::now();
-        let r = run_cpa_parallel(&exp).expect("fabric builds");
+        let r = run_cpa_parallel_recorded(&exp, &obs).expect("fabric builds");
         let ok = r.recovered_key_byte == Some(r.correct_key_byte);
         println!(
             "  recovered: {}  mtd: {:?}  bits of interest: {}  selected bit: {:?}  ({:.1?})",
@@ -115,5 +136,12 @@ fn main() {
             if *ok { "yes" } else { "no" },
             mtd.map_or("—".to_string(), |m| m.to_string())
         );
+    }
+
+    if let Some(path) = metrics_path {
+        let report = MetricsReport::new("key_recovery_campaign", obs.snapshot());
+        print!("\n{}", report.to_table());
+        std::fs::write(&path, report.to_json()).expect("metrics file is writable");
+        println!("metrics written to {path}");
     }
 }

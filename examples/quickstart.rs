@@ -7,13 +7,16 @@
 //! # pin the capture pool (default: all cores; results are identical
 //! # at any thread count):
 //! cargo run --release --example quickstart -- --threads 4
+//! # write a metrics report of the CPA campaign to a JSON file:
+//! cargo run --release --example quickstart -- --metrics metrics.json
 //! ```
 
 use slm_core::experiments::{
-    ro_response, run_cpa_parallel, CpaExperiment, ParallelCpa, SensorSource,
+    ro_response, run_cpa_parallel_recorded, CpaExperiment, ParallelCpa, SensorSource,
 };
 use slm_core::report;
 use slm_fabric::BenignCircuit;
+use slm_obs::{MetricsReport, Obs};
 
 /// Parses `--threads N` (0 or absent = machine parallelism).
 fn threads_flag() -> usize {
@@ -27,8 +30,25 @@ fn threads_flag() -> usize {
     0
 }
 
+/// Parses `--metrics PATH`: `Some(path)` enables recording.
+fn metrics_flag() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            return Some(args.next().expect("--metrics needs a file path"));
+        }
+    }
+    None
+}
+
 fn main() {
     let threads = threads_flag();
+    let metrics_path = metrics_flag();
+    let obs = if metrics_path.is_some() {
+        Obs::memory()
+    } else {
+        Obs::null()
+    };
     // 1. The preliminary experiment (paper Fig. 5/6): pulse 8000 ring
     //    oscillators at 4 MHz and watch the overclocked benign circuit's
     //    endpoints fluctuate alongside the reference TDC.
@@ -63,7 +83,7 @@ fn main() {
         seed: 2,
     })
     .with_workers(threads);
-    let result = run_cpa_parallel(&exp).expect("fabric builds");
+    let result = run_cpa_parallel_recorded(&exp, &obs).expect("fabric builds");
     println!(
         "correct key byte {:#04x}; recovered {:?}; traces to disclosure {:?}",
         result.correct_key_byte, result.recovered_key_byte, result.mtd
@@ -80,5 +100,11 @@ fn main() {
         Some(result.correct_key_byte),
         "the TDC attack should succeed at this scale"
     );
+    if let Some(path) = metrics_path {
+        let report = MetricsReport::new("quickstart", obs.snapshot());
+        print!("\n{}", report.to_table());
+        std::fs::write(&path, report.to_json()).expect("metrics file is writable");
+        println!("metrics written to {path}");
+    }
     println!("\nkey byte recovered — see examples/key_recovery_campaign.rs for the full benign-sensor attack");
 }

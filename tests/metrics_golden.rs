@@ -1,0 +1,81 @@
+//! Golden-file pin of the `--metrics` JSON export.
+//!
+//! A small fixed-seed campaign recorded under the *manual* clock (span
+//! durations count recorder calls, not wall time) must serialize to
+//! byte-identical JSON on every run and platform. The one remaining
+//! float source — PDN telemetry gauges — is rounded to 1e-9 before
+//! pinning, so a libm ulp difference across platforms cannot flake the
+//! test while a real regression (different counters, different spans,
+//! different droop) still fails it.
+//!
+//! Regenerate after an intentional format or instrumentation change:
+//! `UPDATE_GOLDEN=1 cargo test --test metrics_golden`.
+
+use slm_fabric::{BenignCircuit, CampaignDriver, FabricConfig, RemoteSession};
+use slm_obs::{MetricsFrame, MetricsReport, Obs};
+use slm_pdn::noise::Rng64;
+
+const SEED: u64 = 77;
+const GOLDEN: &str = include_str!("golden/metrics_report.json");
+
+fn rounded(mut frame: MetricsFrame) -> MetricsFrame {
+    let round = |v: f64| (v * 1e9).round() / 1e9;
+    for g in frame.gauges.values_mut() {
+        g.last = round(g.last);
+        g.min = round(g.min);
+        g.max = round(g.max);
+    }
+    for h in frame.histograms.values_mut() {
+        h.sum = round(h.sum);
+        h.min = round(h.min);
+        h.max = round(h.max);
+    }
+    frame
+}
+
+fn campaign_frame() -> MetricsFrame {
+    let config = FabricConfig {
+        benign: BenignCircuit::Alu192,
+        seed: SEED,
+        ..FabricConfig::default()
+    };
+    let session = RemoteSession::new(&config, vec![]).expect("fabric builds");
+    let obs = Obs::manual();
+    let mut driver = CampaignDriver::new(session).with_obs(obs.clone());
+    let mut rng = Rng64::new(SEED);
+    for _ in 0..6 {
+        let mut pt = [0u8; 16];
+        rng.fill_bytes(&mut pt);
+        driver.capture(pt).expect("clean wire never fails");
+    }
+    obs.snapshot()
+}
+
+#[test]
+fn metrics_report_json_matches_golden_file() {
+    let report = MetricsReport::new("golden_campaign", rounded(campaign_frame()));
+    let json = report.to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden/metrics_report.json"
+        );
+        std::fs::write(path, &json).expect("golden file is writable");
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "metrics JSON drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test --test metrics_golden"
+    );
+}
+
+#[test]
+fn golden_frame_is_reproducible_within_a_run() {
+    // The manual clock makes even span durations deterministic: two
+    // identical campaigns must produce byte-identical reports without
+    // any rounding at all.
+    let a = MetricsReport::new("g", campaign_frame()).to_json();
+    let b = MetricsReport::new("g", campaign_frame()).to_json();
+    assert_eq!(a, b);
+}

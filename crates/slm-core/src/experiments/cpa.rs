@@ -370,6 +370,15 @@ pub(crate) fn run_cpa_inner(
         obs.gauge("pdn.v_min", t.v_min);
         obs.gauge("pdn.v_max", t.v_max);
         obs.gauge("pdn.settled_streak", t.settled_streak as f64);
+        if let Some(d) = fabric.defense_telemetry() {
+            obs.gauge("defense.injected_max_a", d.injected_max_a);
+            obs.gauge("defense.injected_mean_a", d.injected_mean_a());
+            obs.gauge("defense.detector_max_score", d.max_score);
+            obs.add("defense.windows", d.windows);
+            obs.add("defense.alarm_windows", d.alarm_windows);
+            obs.add("defense.alarm_events", d.alarm_events);
+            obs.add("defense.jitter_cycles", d.jitter_cycles);
+        }
     }
 
     Ok(assemble_result(exp, &setup, &attacks, progress_per, 1))

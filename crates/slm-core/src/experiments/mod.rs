@@ -4,6 +4,7 @@
 mod arch_study;
 mod audits;
 mod cpa;
+mod defense_matrix;
 mod extensions;
 mod fault_study;
 mod parallel;
@@ -18,13 +19,19 @@ pub use audits::{
 pub use cpa::{
     aes_pilot_activity, run_cpa, run_cpa_recorded, CpaExperiment, CpaResult, SensorSource,
 };
+pub use defense_matrix::{
+    defense_matrix, defense_matrix_recorded, DefenseArm, DefenseMatrix, DefenseMatrixExperiment,
+    DetectorEval, DetectorReading, MatrixCell,
+};
 pub use extensions::{
-    fence_study, full_key_recovery, masking_study, placement_study, run_cpa_with, tdc_dominates,
-    tvla_study, FenceStudy, FullKeyResult, MaskingStudy, PlacementRow, TvlaResult,
+    fence_study, full_key_recovery, masking_study, placement_study, run_cpa_with,
+    run_cpa_with_recorded, tdc_dominates, tvla_study, FenceStudy, FullKeyResult, MaskingStudy,
+    PlacementRow, TvlaResult,
 };
 pub use fault_study::{fault_study, FaultRow, FaultStudy, FaultStudyResult};
 pub use parallel::{
-    run_cpa_parallel, run_cpa_parallel_recorded, run_cpa_parallel_with, ParallelCpa,
+    run_cpa_parallel, run_cpa_parallel_recorded, run_cpa_parallel_with,
+    run_cpa_parallel_with_recorded, ParallelCpa,
 };
 pub use preliminary::{
     activity_study, bit_census, bit_variance, ro_response, ActivityStudy, CensusResult, RoResponse,

@@ -108,6 +108,22 @@ pub fn run_cpa_parallel_with(
     run_cpa_parallel_inner(exp, tweak, &Obs::null())
 }
 
+/// [`run_cpa_parallel_with`] with an observability handle — the
+/// tweaked, sharded campaign with shard-order metrics folding. Used by
+/// defended campaign drivers that want both a defense hook and
+/// telemetry.
+///
+/// # Errors
+///
+/// Propagates fabric construction failures.
+pub fn run_cpa_parallel_with_recorded(
+    exp: &ParallelCpa,
+    tweak: impl FnOnce(&mut FabricConfig),
+    obs: &Obs,
+) -> Result<CpaResult, FabricError> {
+    run_cpa_parallel_inner(exp, tweak, obs)
+}
+
 fn run_cpa_parallel_inner(
     exp: &ParallelCpa,
     tweak: impl FnOnce(&mut FabricConfig),
@@ -171,6 +187,15 @@ fn run_cpa_parallel_inner(
                 shard_obs.gauge("pdn.v_min", t.v_min);
                 shard_obs.gauge("pdn.v_max", t.v_max);
                 shard_obs.gauge("pdn.settled_streak", t.settled_streak as f64);
+                if let Some(d) = fabric.defense_telemetry() {
+                    shard_obs.gauge("defense.injected_max_a", d.injected_max_a);
+                    shard_obs.gauge("defense.injected_mean_a", d.injected_mean_a());
+                    shard_obs.gauge("defense.detector_max_score", d.max_score);
+                    shard_obs.add("defense.windows", d.windows);
+                    shard_obs.add("defense.alarm_windows", d.alarm_windows);
+                    shard_obs.add("defense.alarm_events", d.alarm_events);
+                    shard_obs.add("defense.jitter_cycles", d.jitter_cycles);
+                }
             }
             Ok(ShardPartial {
                 snapshots,

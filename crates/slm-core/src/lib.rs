@@ -55,7 +55,8 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    atpg_stimulus_study, bit_census, bit_variance, floorplan_views, ro_response, run_cpa,
-    stealth_audit, stealth_matrix, timing_audit, CensusResult, CpaExperiment, CpaResult,
-    RoResponse, SensorSource, StealthAudit, StealthMatrix, TimingAudit, VarianceResult,
+    atpg_stimulus_study, bit_census, bit_variance, defense_matrix, floorplan_views, ro_response,
+    run_cpa, stealth_audit, stealth_matrix, timing_audit, CensusResult, CpaExperiment, CpaResult,
+    DefenseArm, DefenseMatrix, DefenseMatrixExperiment, RoResponse, SensorSource, StealthAudit,
+    StealthMatrix, TimingAudit, VarianceResult,
 };

@@ -16,8 +16,15 @@ pub struct ProgressPoint {
 
 impl ProgressPoint {
     /// Whether `key` strictly leads every other candidate.
+    ///
+    /// A checkpoint with no candidates (empty `peak_corr`, e.g. a
+    /// deserialized partial) or one too short to contain `key` never
+    /// reports a lead — the attack cannot have disclosed a candidate it
+    /// never scored.
     pub fn key_leads(&self, key: u8) -> bool {
-        let target = self.peak_corr[key as usize];
+        let Some(&target) = self.peak_corr.get(key as usize) else {
+            return false;
+        };
         self.peak_corr
             .iter()
             .enumerate()
@@ -26,8 +33,13 @@ impl ProgressPoint {
 
     /// Margin between the correct key's correlation and the best wrong
     /// candidate (negative when the key does not lead).
+    ///
+    /// Returns [`f64::NEG_INFINITY`] when `peak_corr` does not contain
+    /// `key` — an unscored candidate trails every scored one.
     pub fn margin(&self, key: u8) -> f64 {
-        let target = self.peak_corr[key as usize];
+        let Some(&target) = self.peak_corr.get(key as usize) else {
+            return f64::NEG_INFINITY;
+        };
         let best_other = self
             .peak_corr
             .iter()
@@ -121,5 +133,33 @@ mod tests {
     fn tie_does_not_count_as_leading() {
         let p = point(1, 0.2, 0.2);
         assert!(!p.key_leads(42));
+    }
+
+    #[test]
+    fn empty_checkpoint_never_leads() {
+        let p = ProgressPoint {
+            traces: 10,
+            peak_corr: Vec::new(),
+        };
+        assert!(!p.key_leads(0));
+        assert!(!p.key_leads(255));
+        assert_eq!(p.margin(0), f64::NEG_INFINITY);
+        // An all-empty progress curve never discloses.
+        assert_eq!(measurements_to_disclosure(&[p], 42), None);
+    }
+
+    #[test]
+    fn out_of_range_key_index_is_guarded() {
+        // A truncated candidate list (e.g. a partial store restore)
+        // must not panic when asked about a candidate it never scored.
+        let p = ProgressPoint {
+            traces: 5,
+            peak_corr: vec![0.4, 0.2, 0.1],
+        };
+        assert!(!p.key_leads(200));
+        assert_eq!(p.margin(200), f64::NEG_INFINITY);
+        // In-range indices still behave normally on the short vector.
+        assert!(p.key_leads(0));
+        assert!(p.margin(0) > 0.0);
     }
 }

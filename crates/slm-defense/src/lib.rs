@@ -1,0 +1,46 @@
+//! Runtime countermeasures for multi-tenant FPGA power side channels.
+//!
+//! The paper's stealthy benign-logic sensor defeats *structural*
+//! bitstream checking by construction — every netlist it ships is an
+//! ordinary combinational circuit. The defender's remaining options are
+//! therefore *runtime* ones, and this crate models the four shapes the
+//! countermeasure literature proposes:
+//!
+//! * [`FenceSpec`] — an **active fence** noise injector (Krautter et
+//!   al.): a defender-owned current source on the shared PDN that masks
+//!   the victim's supply signature. Three modes: a constant draw (known
+//!   to be nearly useless — Pearson correlation is offset-invariant), a
+//!   PRNG-modulated draw, and a SHIELD-style *adaptive* draw that stays
+//!   in a low-power idle state until an on-chip sensor readout feedback
+//!   loop detects measurement activity.
+//! * [`LdoConfig`] — **supply regulation**: a per-region LDO/regulator
+//!   stage that attenuates cross-region droop coupling, the electrical
+//!   isolation knob cloud providers can buy with power-delivery design.
+//! * [`ClockJitterConfig`] — **temporal randomization** of the victim
+//!   tenant's clock: a random per-encryption phase offset that smears
+//!   the leakage across capture sample positions.
+//! * [`DetectorConfig`] / [`AlternationDetector`] — an **online anomaly
+//!   detector** watching a defender-owned sensor region for the
+//!   attacker's tell: the alternating reset/measure stimulus pair
+//!   drives the sensing tenant's current at the tick rate, a Nyquist
+//!   tone no benign constant-activity tenant produces.
+//!
+//! [`DefenseConfig`] bundles any subset of these; [`DefenseRuntime`] is
+//! the per-fabric state machine the co-simulation steps once per tick.
+//! Everything is seeded and deterministic: the same configuration
+//! reproduces the same injected-current and detector trajectories
+//! bit-for-bit, which is what lets defended capture campaigns shard
+//! across workers without changing their results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod detector;
+mod runtime;
+
+pub use config::{
+    AdaptivePolicy, ClockJitterConfig, DefenseConfig, FenceMode, FenceSpec, LdoConfig,
+};
+pub use detector::{AlternationDetector, DetectorConfig};
+pub use runtime::{DefenseRuntime, DefenseTelemetry};

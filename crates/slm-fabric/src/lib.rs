@@ -63,5 +63,11 @@ pub use scenario::{
     ActivityTrace, AesActivity, CaptureRecord, FabricConfig, FenceConfig, MultiTenantFabric,
     RoSchedule,
 };
+// Countermeasure vocabulary, re-exported so defended campaigns can be
+// configured without depending on slm-defense directly.
+pub use slm_defense::{
+    AdaptivePolicy, AlternationDetector, ClockJitterConfig, DefenseConfig, DefenseRuntime,
+    DefenseTelemetry, DetectorConfig, FenceMode, FenceSpec, LdoConfig,
+};
 pub use slm_par::{ShardPlan, ShardSpec};
 pub use uart::{crc16, DecodeOutcome, LinkStats, UartFrame, UartLink};

@@ -4,6 +4,7 @@ use crate::circuit::BenignCircuit;
 use crate::error::FabricError;
 use serde::{Deserialize, Serialize};
 use slm_aes::{Aes32Rtl, LeakageModel};
+use slm_defense::{DefenseConfig, DefenseRuntime, DefenseTelemetry};
 use slm_pdn::noise::Rng64;
 use slm_pdn::{MultiRegionPdn, PdnConfig};
 use slm_sensors::{BenignSensor, BenignSensorConfig, RoArray, SensorSample, TdcConfig, TdcSensor};
@@ -50,6 +51,18 @@ pub struct FabricConfig {
     pub victim_coupling: f64,
     /// Static current of the rest of the design, amps.
     pub background_current_a: f64,
+    /// Relative amplitude of the attacker tenant's reset/measure
+    /// stimulus alternation. The sensing circuit toggles between its
+    /// reset and measure vectors every 300 MHz tick, so its switching
+    /// current is not constant: it swings by this fraction of the mean
+    /// benign activity current at the tick rate. `0.0` (the default)
+    /// models a perfectly balanced stimulus pair and reproduces the
+    /// pre-defense electrical behavior bit-for-bit; realistic vector
+    /// pairs are asymmetric by tens of percent, which is the signature
+    /// the defender's [`DefenseConfig`] anomaly detector keys on.
+    pub stimulus_alternation: f64,
+    /// Runtime countermeasures deployed by the defender, if any.
+    pub defense: Option<DefenseConfig>,
     /// Master seed (plaintext generation and housekeeping noise).
     pub seed: u64,
 }
@@ -75,6 +88,9 @@ impl FabricConfig {
         if let Some(fence) = &mut config.fence {
             fence.seed = slm_par::mix_seed(fence.seed, lane);
         }
+        if let Some(defense) = &mut config.defense {
+            defense.seed = slm_par::mix_seed(defense.seed, lane);
+        }
         config
     }
 }
@@ -99,6 +115,8 @@ impl Default for FabricConfig {
             masked_aes: false,
             victim_coupling: 1.0,
             background_current_a: 0.25,
+            stimulus_alternation: 0.0,
+            defense: None,
             seed: 0x5ca1ab1e,
         }
     }
@@ -225,6 +243,11 @@ pub struct MultiTenantFabric {
     ro: RoArray,
     rng: Rng64,
     fence_rng: Option<Rng64>,
+    /// Defender-side countermeasure state, when deployed.
+    defense: Option<DefenseRuntime>,
+    /// Fabric ticks elapsed since construction (drives the attacker's
+    /// reset/measure stimulus parity).
+    tick_count: u64,
     /// Measure-sample index within a capture for each AES cycle.
     dt_s: f64,
     lead_in_cycles: usize,
@@ -258,6 +281,14 @@ impl MultiTenantFabric {
         // current every measure cycle, proportional to its activity.
         let benign_activity_current_a = 1.0e-6 * waves.total_transitions() as f64;
         let sensor = BenignSensor::new(waves.into_output_waves(), config.sensor);
+        // Supply regulation attenuates how much of one region's current
+        // transient reaches the other region's rail. Applied only when
+        // deployed so an undefended fabric keeps its coupling matrix
+        // bit-for-bit.
+        let coupling = match config.defense.as_ref().and_then(|d| d.ldo) {
+            Some(ldo) => config.victim_coupling * ldo.residual,
+            None => config.victim_coupling,
+        };
         Ok(MultiTenantFabric {
             aes: Aes32Rtl::new(config.aes_key),
             sensor,
@@ -265,14 +296,13 @@ impl MultiTenantFabric {
             pdn: MultiRegionPdn::new(
                 config.pdn,
                 2,
-                vec![
-                    vec![1.0, config.victim_coupling],
-                    vec![config.victim_coupling, 1.0],
-                ],
+                vec![vec![1.0, coupling], vec![coupling, 1.0]],
             ),
             ro: config.ro,
             rng: Rng64::new(config.seed),
             fence_rng: config.fence.map(|f| Rng64::new(f.seed)),
+            defense: config.defense.as_ref().map(DefenseRuntime::new),
+            tick_count: 0,
             dt_s: 1.0 / 300.0e6,
             lead_in_cycles: Self::LEAD_IN_CYCLES,
             benign_activity_current_a,
@@ -336,10 +366,14 @@ impl MultiTenantFabric {
             (Some(rng), Some(cfg)) => rng.uniform() * cfg.peak_current_a,
             _ => 0.0,
         };
-        let attacker = self.config.background_current_a
-            + self.ro.current_a()
-            + self.benign_activity_current_a
-            + fence;
+        // The sensing circuit alternates reset/measure vectors every
+        // tick, so its switching current swings around the mean with
+        // tick parity. With a balanced stimulus pair (alternation 0.0)
+        // the factor is exactly 1.0 — bitwise identity.
+        let parity = if self.tick_count % 2 == 0 { 1.0 } else { -1.0 };
+        let stimulus =
+            self.benign_activity_current_a * (1.0 + self.config.stimulus_alternation * parity);
+        let attacker = self.config.background_current_a + self.ro.current_a() + stimulus + fence;
         [attacker, aes_cycle_current]
     }
 
@@ -350,12 +384,42 @@ impl MultiTenantFabric {
         self.pdn.telemetry()
     }
 
+    /// Defense-side telemetry (injected current, detector scores and
+    /// alarms), when a defense is deployed.
+    pub fn defense_telemetry(&self) -> Option<&DefenseTelemetry> {
+        self.defense.as_ref().map(DefenseRuntime::telemetry)
+    }
+
+    /// The live defense runtime, when deployed (read access for
+    /// monitoring planes and tests).
+    pub fn defense(&self) -> Option<&DefenseRuntime> {
+        self.defense.as_ref()
+    }
+
     /// Steps the shared PDN one tick; returns the attacker-region
     /// voltage (what the sensors see).
+    ///
+    /// When a defense is deployed the tick also runs the defender's
+    /// loop: the fence current drawn for this tick loads the victim
+    /// region *before* the step, and the defender's TDC observes the
+    /// settled victim rail *after* it (one-tick feedback latency for
+    /// the adaptive fence).
     fn step_pdn(&mut self, aes_cycle_current: f64) -> f64 {
         let currents = self.region_currents(aes_cycle_current);
+        self.tick_count += 1;
+        if let Some(defense) = &mut self.defense {
+            let injected = defense.next_injection_a();
+            self.pdn.set_injected(1, injected);
+        }
         let dt = self.dt_s;
-        self.pdn.step(&currents, dt)[0]
+        let (attacker_v, victim_v) = {
+            let v = self.pdn.step(&currents, dt);
+            (v[0], v[1])
+        };
+        if let Some(defense) = &mut self.defense {
+            defense.observe_tick(victim_v);
+        }
+        attacker_v
     }
 
     /// Runs one encryption while capturing every sensor on each measure
@@ -389,13 +453,21 @@ impl MultiTenantFabric {
             self.aes
                 .encrypt_with_power(plaintext, &self.config.leakage, &mut self.rng)
         };
-        let total_cycles = self.lead_in_cycles + power.len() + Self::LEAD_OUT_CYCLES;
+        // Clock-jitter defense: a random extra lead-in shifts where the
+        // leaky cycles land relative to the attacker's fixed capture
+        // window, trace by trace. Zero when not deployed.
+        let jitter_cycles = match &mut self.defense {
+            Some(d) => d.draw_jitter_cycles() as usize,
+            None => 0,
+        };
+        let lead_in = self.lead_in_cycles + jitter_cycles;
+        let total_cycles = lead_in + power.len() + Self::LEAD_OUT_CYCLES;
         let mut benign = Vec::new();
         let mut tdc = Vec::new();
         let mut sample_idx = 0usize;
         for c in 0..total_cycles {
-            let aes_i = if c >= self.lead_in_cycles && c - self.lead_in_cycles < power.len() {
-                power[c - self.lead_in_cycles]
+            let aes_i = if c >= lead_in && c - lead_in < power.len() {
+                power[c - lead_in]
             } else {
                 self.config.leakage.idle_a
             };
@@ -494,6 +566,7 @@ impl MultiTenantFabric {
 mod tests {
     use super::*;
     use slm_aes::soft;
+    use slm_defense::{ClockJitterConfig, DetectorConfig, FenceSpec, LdoConfig};
 
     fn small_config() -> FabricConfig {
         FabricConfig {
@@ -600,5 +673,159 @@ mod tests {
         let r1 = f1.encrypt_and_capture([5; 16]);
         let r2 = f2.encrypt_and_capture([5; 16]);
         assert_eq!(r1, r2);
+    }
+
+    fn defended_config(defense: DefenseConfig) -> FabricConfig {
+        FabricConfig {
+            defense: Some(defense),
+            stimulus_alternation: 0.3,
+            ..small_config()
+        }
+    }
+
+    #[test]
+    fn monitor_only_defense_does_not_perturb_captures() {
+        // A detector-only defense is electrically inert: the defender's
+        // sensor draws from its own noise streams, so the attacker-side
+        // capture must be bit-identical to the undefended fabric.
+        let undefended = small_config();
+        let defended = FabricConfig {
+            defense: Some(DefenseConfig::monitor_only(99)),
+            ..small_config()
+        };
+        let mut f1 = MultiTenantFabric::new(&undefended).unwrap();
+        let mut f2 = MultiTenantFabric::new(&defended).unwrap();
+        assert_eq!(
+            f1.encrypt_and_capture([9; 16]),
+            f2.encrypt_and_capture([9; 16])
+        );
+    }
+
+    #[test]
+    fn defended_capture_is_deterministic() {
+        let defense = DefenseConfig {
+            fence: Some(FenceSpec::prng(0.8)),
+            clock_jitter: Some(ClockJitterConfig { max_cycles: 6 }),
+            ..Default::default()
+        };
+        let config = defended_config(defense);
+        let mut f1 = MultiTenantFabric::new(&config).unwrap();
+        let mut f2 = MultiTenantFabric::new(&config).unwrap();
+        for i in 0..4 {
+            let pt = [i as u8; 16];
+            assert_eq!(f1.encrypt_and_capture(pt), f2.encrypt_and_capture(pt));
+        }
+        assert_eq!(f1.defense_telemetry(), f2.defense_telemetry());
+    }
+
+    #[test]
+    fn prng_fence_perturbs_victim_capture() {
+        let defense = DefenseConfig {
+            fence: Some(FenceSpec::prng(1.0)),
+            ..Default::default()
+        };
+        let defended = defended_config(defense);
+        let undefended = FabricConfig {
+            defense: None,
+            ..defended.clone()
+        };
+        let mut f1 = MultiTenantFabric::new(&undefended).unwrap();
+        let mut f2 = MultiTenantFabric::new(&defended).unwrap();
+        let r1 = f1.encrypt_and_capture([7; 16]);
+        let r2 = f2.encrypt_and_capture([7; 16]);
+        assert_eq!(r1.ciphertext, r2.ciphertext, "fence must not corrupt data");
+        assert_ne!(r1.tdc, r2.tdc, "fence must perturb the sensed rail");
+        let telemetry = f2.defense_telemetry().unwrap();
+        assert!(telemetry.injected_max_a > 0.5);
+        assert!(telemetry.injected_mean_a() > 0.1);
+    }
+
+    #[test]
+    fn clock_jitter_lengthens_captures_and_varies_alignment() {
+        let defense = DefenseConfig {
+            clock_jitter: Some(ClockJitterConfig { max_cycles: 8 }),
+            ..Default::default()
+        };
+        let config = defended_config(defense);
+        let mut fabric = MultiTenantFabric::new(&config).unwrap();
+        let baseline = fabric.samples_per_encryption();
+        let lens: Vec<usize> = (0..12)
+            .map(|i| fabric.encrypt_and_capture([i as u8; 16]).benign.len())
+            .collect();
+        assert!(lens.iter().all(|&l| l >= baseline));
+        assert!(
+            lens.iter().any(|&l| l != lens[0]),
+            "jitter should vary capture length: {lens:?}"
+        );
+        assert!(fabric.defense_telemetry().unwrap().jitter_cycles > 0);
+    }
+
+    #[test]
+    fn ldo_attenuates_cross_region_coupling() {
+        // With strong regulation the attacker-visible trace barely
+        // responds to the victim's AES activity: compare the capture
+        // variance across two different plaintexts' last-round windows.
+        let defense = DefenseConfig {
+            ldo: Some(LdoConfig { residual: 0.0 }),
+            ..Default::default()
+        };
+        let defended = defended_config(defense);
+        let mut fabric = MultiTenantFabric::new(&defended).unwrap();
+        let w = fabric.last_round_window();
+        let a = fabric.encrypt_windowed([0x00; 16], w.clone(), &[5]);
+        let b = fabric.encrypt_windowed([0xff; 16], w, &[5]);
+        // Perfect isolation: the attacker region never sees the AES
+        // droop, so both windows read the same (up to sensor noise,
+        // which stays within a tap or two).
+        let max_delta = a
+            .tdc
+            .iter()
+            .zip(&b.tdc)
+            .map(|(&x, &y)| (i64::from(x) - i64::from(y)).unsigned_abs())
+            .max()
+            .unwrap();
+        assert!(
+            max_delta <= 2,
+            "isolated regions still coupled: Δ={max_delta}"
+        );
+    }
+
+    #[test]
+    fn detector_flags_alternating_stimulus_not_benign_activity() {
+        let defense = DefenseConfig {
+            detector: DetectorConfig {
+                window_ticks: 4098, // even, divisible by 6
+                alarm_threshold: 0.05,
+            },
+            ..Default::default()
+        };
+        // Attacker running its sensing stimulus with a 30% reset/measure
+        // current asymmetry.
+        let attacker = defended_config(defense.clone());
+        let mut fabric = MultiTenantFabric::new(&attacker).unwrap();
+        fabric.run_activity(None, AesActivity::Continuous, 8200);
+        let hot = fabric.defense_telemetry().unwrap();
+        assert!(hot.windows >= 2);
+        assert!(
+            hot.alarm_windows > 0,
+            "alternating stimulus must alarm: max score {}",
+            hot.max_score
+        );
+
+        // Same fabric, balanced (benign) activity: AES runs, the benign
+        // circuit switches, but nothing alternates at the tick rate.
+        let benign = FabricConfig {
+            stimulus_alternation: 0.0,
+            ..defended_config(defense)
+        };
+        let mut fabric = MultiTenantFabric::new(&benign).unwrap();
+        fabric.run_activity(None, AesActivity::Continuous, 8200);
+        let quiet = fabric.defense_telemetry().unwrap();
+        assert!(quiet.windows >= 2);
+        assert_eq!(
+            quiet.alarm_windows, 0,
+            "benign activity false-alarmed: max score {}",
+            quiet.max_score
+        );
     }
 }

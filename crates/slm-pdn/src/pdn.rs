@@ -172,6 +172,10 @@ pub struct MultiRegionPdn {
     rng: Rng64,
     voltages: Vec<f64>,
     droop_scratch: Vec<f64>,
+    /// Extra per-region current sources (active-fence noise injectors
+    /// and similar countermeasures), added to the caller's currents on
+    /// every step. All zero by default, which leaves `step` bit-exact.
+    injected: Vec<f64>,
     telemetry: PdnTelemetry,
     settle_band: f64,
 }
@@ -194,6 +198,7 @@ impl MultiRegionPdn {
             rng: Rng64::new(config.seed),
             voltages: vec![config.v_nominal; regions],
             droop_scratch: vec![0.0; regions],
+            injected: vec![0.0; regions],
             telemetry: PdnTelemetry::new(config.v_nominal),
             settle_band: PdnTelemetry::band(&config),
             config,
@@ -213,20 +218,41 @@ impl MultiRegionPdn {
         self.filters.len()
     }
 
-    /// Advances all regions by `dt` with per-region currents; returns the
-    /// observed per-region voltages.
+    /// Sets the extra current source of one region, amps. The injection
+    /// is added to the caller's current on every subsequent [`step`]
+    /// until changed — the hook active-fence noise injectors drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    ///
+    /// [`step`]: MultiRegionPdn::step
+    pub fn set_injected(&mut self, region: usize, amps: f64) {
+        self.injected[region] = amps;
+    }
+
+    /// The extra current currently injected into one region, amps.
+    pub fn injected(&self, region: usize) -> f64 {
+        self.injected[region]
+    }
+
+    /// Advances all regions by `dt` with per-region currents (plus any
+    /// injected extra sources); returns the observed per-region
+    /// voltages.
     ///
     /// # Panics
     ///
     /// Panics if `currents_a.len()` differs from the region count.
     pub fn step(&mut self, currents_a: &[f64], dt: f64) -> &[f64] {
         assert_eq!(currents_a.len(), self.filters.len());
-        for ((d, f), &i) in self
+        for (((d, f), &i), &inj) in self
             .droop_scratch
             .iter_mut()
             .zip(&mut self.filters)
             .zip(currents_a)
+            .zip(&self.injected)
         {
+            let i = i + inj;
             *d = f.step(self.config.r_eff * i, dt) + self.config.r_fast * i;
         }
         for (r, v) in self.voltages.iter_mut().enumerate() {
@@ -378,6 +404,52 @@ mod tests {
             (cfg.v_nominal - t.v_min) > 0.04,
             "region-0 droop recorded: {t:?}"
         );
+    }
+
+    #[test]
+    fn injected_current_adds_to_region_droop() {
+        let cfg = quiet(PdnConfig::default());
+        let mut plain = MultiRegionPdn::uniform(cfg, 2, 0.5);
+        let mut fenced = MultiRegionPdn::uniform(cfg, 2, 0.5);
+        fenced.set_injected(1, 2.0);
+        assert_eq!(fenced.injected(1), 2.0);
+        assert_eq!(fenced.injected(0), 0.0);
+        let mut v_plain = [0.0; 2];
+        let mut v_fenced = [0.0; 2];
+        for _ in 0..400_000 {
+            let a = plain.step(&[1.0, 1.0], DT);
+            v_plain = [a[0], a[1]];
+            let b = fenced.step(&[1.0, 1.0], DT);
+            v_fenced = [b[0], b[1]];
+        }
+        // The injector deepens the droop in its own region and, through
+        // the coupling, in the neighbour.
+        assert!(v_fenced[1] < v_plain[1] - 0.02);
+        assert!(v_fenced[0] < v_plain[0] - 0.01);
+        // Clearing the injection restores the plain steady state.
+        fenced.set_injected(1, 0.0);
+        for _ in 0..400_000 {
+            let a = plain.step(&[1.0, 1.0], DT);
+            v_plain = [a[0], a[1]];
+            let b = fenced.step(&[1.0, 1.0], DT);
+            v_fenced = [b[0], b[1]];
+        }
+        assert!((v_fenced[0] - v_plain[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_injection_is_bit_exact() {
+        // A constructed-but-untouched injection vector must not perturb
+        // the simulation in the last bit: defended-off configs stay
+        // byte-identical to the pre-defense substrate.
+        let cfg = PdnConfig::default();
+        let mut a = MultiRegionPdn::uniform(cfg, 2, 0.5);
+        let mut b = MultiRegionPdn::uniform(cfg, 2, 0.5);
+        b.set_injected(0, 0.0);
+        for i in 0..1_000 {
+            let cur = [(i % 5) as f64, (i % 3) as f64];
+            assert_eq!(a.step(&cur, DT), b.step(&cur, DT));
+        }
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //! # write a metrics report of every campaign (counters, per-shard
 //! # spans, PDN telemetry) to a JSON file:
 //! cargo run --release --example key_recovery_campaign -- --quick --metrics metrics.json
+//! # re-run every campaign under a countermeasure (prng-fence,
+//! # constant-fence, adaptive-fence, ldo, or jitter):
+//! cargo run --release --example key_recovery_campaign -- --quick --defense prng-fence
 //! ```
 
-use slm_core::experiments::{run_cpa_parallel_recorded, CpaExperiment, ParallelCpa, SensorSource};
+use slm_core::experiments::{
+    run_cpa_parallel_with_recorded, CpaExperiment, DefenseArm, ParallelCpa, SensorSource,
+};
 use slm_core::report;
-use slm_fabric::BenignCircuit;
+use slm_fabric::{BenignCircuit, DetectorConfig};
 use slm_obs::{MetricsReport, Obs};
 
 /// Parses `--threads N` (0 or absent = machine parallelism).
@@ -44,10 +49,38 @@ fn metrics_flag() -> Option<String> {
     None
 }
 
+/// Parses `--defense ARM`: the countermeasure every campaign runs
+/// under (absent = undefended, the paper's setting).
+fn defense_flag() -> Option<DefenseArm> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--defense" {
+            let raw = args.next().expect("--defense needs an arm name");
+            return Some(match raw.as_str() {
+                "none" => DefenseArm::Undefended,
+                "constant-fence" => DefenseArm::ConstantFence(1.5),
+                "prng-fence" => DefenseArm::PrngFence(1.5),
+                "adaptive-fence" => DefenseArm::AdaptiveFence(1.5),
+                "ldo" => DefenseArm::Ldo(0.25),
+                "jitter" => DefenseArm::ClockJitter(8),
+                other => panic!(
+                    "--defense: unknown arm {other:?} (expected none, constant-fence, \
+                     prng-fence, adaptive-fence, ldo, or jitter)"
+                ),
+            });
+        }
+    }
+    None
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = threads_flag();
     let metrics_path = metrics_flag();
+    let defense = defense_flag();
+    if let Some(arm) = &defense {
+        println!("-- defense deployed: {} --", arm.label());
+    }
     let obs = if metrics_path.is_some() {
         Obs::memory()
     } else {
@@ -109,7 +142,26 @@ fn main() {
         })
         .with_workers(threads);
         let start = std::time::Instant::now();
-        let r = run_cpa_parallel_recorded(&exp, &obs).expect("fabric builds");
+        let r = run_cpa_parallel_with_recorded(
+            &exp,
+            |config| {
+                if let Some(arm) = &defense {
+                    // A defended run models the realistic attacker too:
+                    // its stimulus pair is slightly asymmetric, which is
+                    // what the defender's detector keys on.
+                    config.stimulus_alternation = 0.3;
+                    config.defense = arm.deployment(
+                        DetectorConfig {
+                            window_ticks: 4098,
+                            alarm_threshold: 0.05,
+                        },
+                        0xd15c,
+                    );
+                }
+            },
+            &obs,
+        )
+        .expect("fabric builds");
         let ok = r.recovered_key_byte == Some(r.correct_key_byte);
         println!(
             "  recovered: {}  mtd: {:?}  bits of interest: {}  selected bit: {:?}  ({:.1?})",

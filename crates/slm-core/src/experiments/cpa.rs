@@ -271,6 +271,7 @@ pub(crate) fn assemble_result(
     attacks: &[CpaAttack],
     mut progress_per: Vec<Vec<ProgressPoint>>,
     eval_workers: usize,
+    traces: u64,
 ) -> CpaResult {
     // For multi-candidate single-bit attacks, keep the candidate whose
     // leading key separates best from the runner-up — computable without
@@ -312,7 +313,7 @@ pub(crate) fn assemble_result(
         final_peaks,
         bits_of_interest: setup.bits_of_interest.clone(),
         selected_bit,
-        traces: exp.traces,
+        traces,
     }
 }
 
@@ -381,7 +382,14 @@ pub(crate) fn run_cpa_inner(
         }
     }
 
-    Ok(assemble_result(exp, &setup, &attacks, progress_per, 1))
+    Ok(assemble_result(
+        exp,
+        &setup,
+        &attacks,
+        progress_per,
+        1,
+        exp.traces,
+    ))
 }
 
 /// Runs an AES-activity pilot only, returning the activity accumulator —

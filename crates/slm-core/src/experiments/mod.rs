@@ -10,6 +10,7 @@ mod fault_study;
 mod parallel;
 mod preliminary;
 mod stealth_matrix;
+mod streaming;
 
 pub use arch_study::{architecture_study, ArchRow, ArchStudy};
 pub use audits::{
@@ -39,4 +40,9 @@ pub use preliminary::{
 };
 pub use stealth_matrix::{
     stealth_matrix, MatrixRow, StealthMatrix, OVERCLOCK_MHZ, SYNTH_CRITICAL_NS,
+};
+pub use streaming::{
+    run_streaming, run_streaming_faulted, run_streaming_recorded, run_streaming_with,
+    run_streaming_with_recorded, CrashPlan, CrashSite, EarlyStop, StreamOutcome, StreamingCpa,
+    StreamingError, StreamingResult,
 };

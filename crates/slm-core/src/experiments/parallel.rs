@@ -242,6 +242,7 @@ fn run_cpa_parallel_inner(
         &merged,
         progress_per,
         exp.workers,
+        base.traces,
     ))
 }
 

@@ -17,14 +17,21 @@
 //! # re-run every campaign under a countermeasure (prng-fence,
 //! # constant-fence, adaptive-fence, ldo, or jitter):
 //! cargo run --release --example key_recovery_campaign -- --quick --defense prng-fence
+//! # run through the crash-safe streaming engine, journalling progress
+//! # under ckpt/ (one subdirectory per campaign); an interrupted run
+//! # continues from the last good checkpoint generation with --resume:
+//! cargo run --release --example key_recovery_campaign -- --checkpoint-dir ckpt
+//! cargo run --release --example key_recovery_campaign -- --checkpoint-dir ckpt --resume
 //! ```
 
 use slm_core::experiments::{
-    run_cpa_parallel_with_recorded, CpaExperiment, DefenseArm, ParallelCpa, SensorSource,
+    run_cpa_parallel_with_recorded, run_streaming_with_recorded, CpaExperiment, DefenseArm,
+    ParallelCpa, SensorSource, StreamingCpa,
 };
 use slm_core::report;
-use slm_fabric::{BenignCircuit, DetectorConfig};
+use slm_fabric::{BenignCircuit, DetectorConfig, FabricConfig};
 use slm_obs::{MetricsReport, Obs};
+use std::path::Path;
 
 /// Parses `--threads N` (0 or absent = machine parallelism).
 fn threads_flag() -> usize {
@@ -49,25 +56,68 @@ fn metrics_flag() -> Option<String> {
     None
 }
 
+/// Parses `--checkpoint-dir DIR`: `Some(dir)` routes every campaign
+/// through the streaming engine, journalling progress under
+/// `DIR/<campaign-slug>/`.
+fn checkpoint_dir_flag() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--checkpoint-dir" {
+            return Some(args.next().expect("--checkpoint-dir needs a directory"));
+        }
+    }
+    None
+}
+
+/// A filesystem-safe slug for a campaign's checkpoint subdirectory.
+fn slug(label: &str) -> String {
+    let mut s = String::new();
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            s.push(c.to_ascii_lowercase());
+        } else if !s.ends_with('-') && !s.is_empty() {
+            s.push('-');
+        }
+    }
+    s.trim_end_matches('-').to_string()
+}
+
+/// Whether a ledger directory already holds checkpoint generations.
+fn has_checkpoints(dir: &Path) -> bool {
+    std::fs::read_dir(dir).is_ok_and(|entries| {
+        entries
+            .flatten()
+            .any(|e| e.file_name().to_string_lossy().ends_with(".slmc"))
+    })
+}
+
 /// Parses `--defense ARM`: the countermeasure every campaign runs
-/// under (absent = undefended, the paper's setting).
-fn defense_flag() -> Option<DefenseArm> {
+/// under (absent = undefended, the paper's setting). Returns the arm
+/// and a stable tag for the streaming fingerprint, so checkpoints from
+/// a differently-defended run are refused on resume.
+fn defense_flag() -> Option<(u64, DefenseArm)> {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
         if arg == "--defense" {
             let raw = args.next().expect("--defense needs an arm name");
-            return Some(match raw.as_str() {
-                "none" => DefenseArm::Undefended,
-                "constant-fence" => DefenseArm::ConstantFence(1.5),
-                "prng-fence" => DefenseArm::PrngFence(1.5),
-                "adaptive-fence" => DefenseArm::AdaptiveFence(1.5),
-                "ldo" => DefenseArm::Ldo(0.25),
-                "jitter" => DefenseArm::ClockJitter(8),
-                other => panic!(
-                    "--defense: unknown arm {other:?} (expected none, constant-fence, \
-                     prng-fence, adaptive-fence, ldo, or jitter)"
-                ),
+            let tag = raw.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3)
             });
+            return Some((
+                tag,
+                match raw.as_str() {
+                    "none" => DefenseArm::Undefended,
+                    "constant-fence" => DefenseArm::ConstantFence(1.5),
+                    "prng-fence" => DefenseArm::PrngFence(1.5),
+                    "adaptive-fence" => DefenseArm::AdaptiveFence(1.5),
+                    "ldo" => DefenseArm::Ldo(0.25),
+                    "jitter" => DefenseArm::ClockJitter(8),
+                    other => panic!(
+                        "--defense: unknown arm {other:?} (expected none, constant-fence, \
+                     prng-fence, adaptive-fence, ldo, or jitter)"
+                    ),
+                },
+            ));
         }
     }
     None
@@ -75,10 +125,12 @@ fn defense_flag() -> Option<DefenseArm> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let resume = std::env::args().any(|a| a == "--resume");
     let threads = threads_flag();
     let metrics_path = metrics_flag();
+    let checkpoint_dir = checkpoint_dir_flag();
     let defense = defense_flag();
-    if let Some(arm) = &defense {
+    if let Some((_, arm)) = &defense {
         println!("-- defense deployed: {} --", arm.label());
     }
     let obs = if metrics_path.is_some() {
@@ -141,27 +193,60 @@ fn main() {
             seed: 0xc0ffee,
         })
         .with_workers(threads);
+        let tweak = |config: &mut FabricConfig| {
+            if let Some((_, arm)) = &defense {
+                // A defended run models the realistic attacker too:
+                // its stimulus pair is slightly asymmetric, which is
+                // what the defender's detector keys on.
+                config.stimulus_alternation = 0.3;
+                config.defense = arm.deployment(
+                    DetectorConfig {
+                        window_ticks: 4098,
+                        alarm_threshold: 0.05,
+                    },
+                    0xd15c,
+                );
+            }
+        };
         let start = std::time::Instant::now();
-        let r = run_cpa_parallel_with_recorded(
-            &exp,
-            |config| {
-                if let Some(arm) = &defense {
-                    // A defended run models the realistic attacker too:
-                    // its stimulus pair is slightly asymmetric, which is
-                    // what the defender's detector keys on.
-                    config.stimulus_alternation = 0.3;
-                    config.defense = arm.deployment(
-                        DetectorConfig {
-                            window_ticks: 4098,
-                            alarm_threshold: 0.05,
-                        },
-                        0xd15c,
-                    );
-                }
-            },
-            &obs,
-        )
-        .expect("fabric builds");
+        let r = if let Some(base_dir) = &checkpoint_dir {
+            let dir = Path::new(base_dir).join(slug(label));
+            if has_checkpoints(&dir) && !resume {
+                eprintln!(
+                    "error: {} already holds checkpoint generations; pass --resume \
+                     to continue the interrupted campaign, or clear the directory \
+                     to start over",
+                    dir.display()
+                );
+                std::process::exit(2);
+            }
+            let sexp = StreamingCpa::new(exp.base)
+                .with_workers(threads)
+                .with_config_tag(defense.as_ref().map_or(0, |(tag, _)| *tag));
+            let sr = run_streaming_with_recorded(&sexp, &dir, tweak, &obs).unwrap_or_else(|e| {
+                eprintln!("error: streaming campaign failed: {e}");
+                std::process::exit(1);
+            });
+            if let Some(generation) = sr.resumed_generation {
+                println!(
+                    "  resumed from checkpoint generation {generation}, \
+                     finished at {} windows / {} traces{}",
+                    sr.windows,
+                    sr.traces,
+                    if sr.recovered_generations > 0 {
+                        format!(
+                            "; fell back past {} corrupt generation(s)",
+                            sr.recovered_generations
+                        )
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            sr.result
+        } else {
+            run_cpa_parallel_with_recorded(&exp, tweak, &obs).expect("fabric builds")
+        };
         let ok = r.recovered_key_byte == Some(r.correct_key_byte);
         println!(
             "  recovered: {}  mtd: {:?}  bits of interest: {}  selected bit: {:?}  ({:.1?})",

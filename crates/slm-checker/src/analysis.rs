@@ -2,19 +2,24 @@
 //! computed once per scan.
 
 use slm_netlist::graph::{collapsed_drivers, combinational_loops, FanoutIndex};
-use slm_netlist::{NetId, Netlist};
+use slm_netlist::{GateKind, NetId, Netlist};
+use std::sync::OnceLock;
 
 /// Precomputed per-netlist facts handed to every pass.
 ///
 /// Building the context is O(nets + edges); passes then share the
 /// fanout index (the fix for the old per-chain-step gate rescans), the
-/// complete SCC loop list, and the buffer-collapsed driver map.
+/// complete SCC loop list, and the buffer-collapsed driver map. Facts
+/// only some pipelines need (logic depth) are computed lazily, at most
+/// once, behind a [`OnceLock`] — safe to race from a parallel pass
+/// level.
 pub struct Analysis<'a> {
     nl: &'a Netlist,
     fanout: FanoutIndex,
     is_output: Vec<bool>,
     collapsed: Vec<NetId>,
     loops: Vec<Vec<NetId>>,
+    levels: OnceLock<Option<Vec<usize>>>,
 }
 
 impl<'a> Analysis<'a> {
@@ -29,6 +34,7 @@ impl<'a> Analysis<'a> {
             is_output,
             collapsed: collapsed_drivers(nl),
             loops: combinational_loops(nl),
+            levels: OnceLock::new(),
             nl,
         }
     }
@@ -57,5 +63,30 @@ impl<'a> Analysis<'a> {
     /// ordered by smallest member net.
     pub fn loops(&self) -> &[Vec<NetId>] {
         &self.loops
+    }
+
+    /// Logic depth per net (inputs/constants at 0, every gate one more
+    /// than its deepest fanin), or `None` for a cyclic netlist.
+    ///
+    /// Computed at most once per scan; shared by the SCOAP and semantic
+    /// passes.
+    pub fn levels(&self) -> Option<&[usize]> {
+        self.levels
+            .get_or_init(|| {
+                let order = self.nl.topological_order().ok()?;
+                let mut level = vec![0usize; self.nl.len()];
+                for &v in order {
+                    let g = self.nl.gate(v);
+                    if !matches!(
+                        g.kind,
+                        GateKind::Input | GateKind::Const0 | GateKind::Const1
+                    ) {
+                        level[v.index()] =
+                            1 + g.fanin.iter().map(|f| level[f.index()]).max().unwrap_or(0);
+                    }
+                }
+                Some(level)
+            })
+            .as_deref()
     }
 }

@@ -1,5 +1,8 @@
-//! `slm-scan`: scan tenant netlists with the structural pass framework
-//! and emit a JSON report.
+//! `slm-scan`: scan tenant netlists with the structural + semantic
+//! pass framework and emit a JSON report.
+//!
+//! Exit codes: 0 clean, 1 warnings, 2 rejected (or matrix violation),
+//! 3 usage/I-O/parse error — see `slm-scan --help`.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -10,7 +13,7 @@ fn main() {
         }
         Err(err) => {
             eprintln!("slm-scan: {err}");
-            std::process::exit(2);
+            std::process::exit(3);
         }
     }
 }

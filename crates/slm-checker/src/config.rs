@@ -149,6 +149,92 @@ impl Default for SignatureConfig {
     }
 }
 
+/// Thresholds and seeds for the semantic clock-taint dataflow pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaintConfig {
+    /// Input pins declared clock-fed by the tenant's interface contract
+    /// (exact net names). In the admission deployment model the
+    /// provider's shell owns clock routing, so these are known
+    /// regardless of what the tenant names the pins — the seeds that
+    /// make the pass immune to the rename trick that defeats the
+    /// structural clock-as-data name screen. Clock-*named* inputs
+    /// ([`ClockConfig::clock_names`]) are seeded too.
+    pub declared_clocks: Vec<String>,
+    /// Minimum number of clock-rate-tainted outputs (reached through
+    /// real logic, see `min_logic_depth`) before the pass rejects —
+    /// below it, wide observation fan-in is absent and only an `Info`
+    /// note is recorded.
+    pub min_observed: usize,
+    /// Minimum non-buffer logic depth between a clock seed and a
+    /// tainted output for the output to count as *converged through
+    /// logic* (pure buffer forwarding of a clock is pin feed-through,
+    /// not sensing).
+    pub min_logic_depth: usize,
+}
+
+impl Default for TaintConfig {
+    fn default() -> Self {
+        TaintConfig {
+            declared_clocks: Vec::new(),
+            min_observed: 8,
+            min_logic_depth: 1,
+        }
+    }
+}
+
+/// Parameters of the static switching-activity estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityConfig {
+    /// Transition density assumed at data inputs, transitions/cycle.
+    pub input_density: f64,
+    /// Transition density assumed at clock-fed inputs (and
+    /// self-oscillating loop nets), transitions/cycle; 2.0 = rise+fall.
+    pub clock_density: f64,
+    /// Per-output clock-attributable glitch bound at or above which the
+    /// output counts as a clock-driven observation tap.
+    pub tap_threshold: f64,
+    /// Minimum number of clock-driven taps before the pass rejects.
+    pub min_taps: usize,
+    /// Summed worst-case glitch bound over a SCOAP sensor-like endpoint
+    /// group at or above which the heuristic `Warn` is upgraded to a
+    /// power-proxy `Reject`.
+    pub scoap_upgrade_glitch: f64,
+    /// Glitch amplification ratio (worst-case transitions / transition
+    /// density) above which an informational reconvergence note is
+    /// recorded.
+    pub info_amplification: f64,
+}
+
+impl Default for ActivityConfig {
+    fn default() -> Self {
+        ActivityConfig {
+            input_density: 0.5,
+            clock_density: 2.0,
+            tap_threshold: 1.0,
+            min_taps: 8,
+            scoap_upgrade_glitch: 8.0,
+            info_amplification: 64.0,
+        }
+    }
+}
+
+/// Thresholds for the observation-bandwidth pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthConfig {
+    /// Observable clock-rate bits/cycle at or above which the pass
+    /// warns (the paper's TDC reads a thermometer code of this width
+    /// every capture cycle).
+    pub warn_bits_per_cycle: usize,
+}
+
+impl Default for BandwidthConfig {
+    fn default() -> Self {
+        BandwidthConfig {
+            warn_bits_per_cycle: 8,
+        }
+    }
+}
+
 /// One allowlist rule. Every populated field must match for the rule to
 /// apply; `None` fields match anything.
 ///
@@ -213,6 +299,12 @@ pub struct CheckerConfig {
     pub scoap: ScoapConfig,
     /// Subgraph-signature pass.
     pub signature: SignatureConfig,
+    /// Semantic clock-taint dataflow pass.
+    pub taint: TaintConfig,
+    /// Static switching-activity estimator.
+    pub activity: ActivityConfig,
+    /// Observation-bandwidth pass.
+    pub bandwidth: BandwidthConfig,
     /// Allowlist rules applied after all passes run.
     pub suppressions: Vec<Suppression>,
 }

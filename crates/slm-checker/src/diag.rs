@@ -38,6 +38,16 @@ pub enum CheckKind {
     /// A known-bad subgraph signature (ring-oscillator cell, tapped
     /// delay-chain) matched even through interposed buffers.
     KnownBadMotif,
+    /// Clock-rate toggling propagates through combinational logic and
+    /// converges on wide observation fan-in (semantic dataflow pass).
+    ClockTaint,
+    /// Estimated switching activity marks the design as a power sensor:
+    /// clock-driven transition density observable at many outputs, or a
+    /// glitch-amplification bound confirming SCOAP sensor-likeness.
+    SwitchingActivity,
+    /// Bits/cycle of clock-rate state observable at tenant outputs (the
+    /// paper's TDC thermometer-readout model).
+    ObservationBandwidth,
 }
 
 impl CheckKind {
@@ -52,6 +62,9 @@ impl CheckKind {
             CheckKind::ClockAsData => "clock-as-data",
             CheckKind::SensorLikeEndpoints => "sensor-like-endpoints",
             CheckKind::KnownBadMotif => "known-bad-motif",
+            CheckKind::ClockTaint => "clock-taint",
+            CheckKind::SwitchingActivity => "switching-activity",
+            CheckKind::ObservationBandwidth => "observation-bandwidth",
         }
     }
 }

@@ -33,12 +33,39 @@
 //! * **observation-density** — the opt-in, deliberately over-aggressive
 //!   output-density heuristic.
 //!
+//! On top of the structural pipeline sit three **semantic** passes
+//! ([`PassManager::semantic`], combined in [`PassManager::full`]) that
+//! reason about dataflow rather than topology:
+//!
+//! * **clock-taint** — a worklist fixpoint over an
+//!   untainted/data-rate/clock-rate lattice, seeded from clock-named
+//!   inputs, contract-declared clock pins and oscillating loops, that
+//!   rejects clock-rate transitions converging on wide observation
+//!   fan-in,
+//! * **switching-activity** — static transition-density propagation
+//!   with a worst-case glitch bound; rejects clock-driven switching
+//!   observable at many outputs and upgrades SCOAP sensor-likeness
+//!   from heuristic to reject with a witness path,
+//! * **observation-bandwidth** — bounds the bits/cycle of clock-rate
+//!   state readable at tenant outputs (the paper's TDC readout model).
+//!
+//! Passes declare dependencies ([`Pass::depends_on`]); the manager
+//! schedules independent passes of a level in parallel
+//! ([`PassManager::run_parallel`]) and replays per-pass results from a
+//! content-addressed [`ScanCache`] ([`PassManager::run_cached`],
+//! [`PassManager::run_batch`]) keyed by FNV hashes of the netlist and
+//! config — the admission-at-traffic fast path.
+//!
 //! The headline result of the reproduction's stealth experiment
 //! (`slm-core`'s detection matrix): every malicious-by-construction
 //! generator is flagged by at least one structural pass, while the ALU
 //! and C6288 sensors pass every structural check and are caught
 //! **only** by the strict timing pass ([`check_timing`]) — and only if
-//! the checker knows the tenant's requested clock.
+//! the checker knows the tenant's requested clock. The semantic suite
+//! moves that line: the `carry_sensor` specimen (the paper's deployed
+//! benign-logic sensor with a contract-declared clock pin) passes every
+//! structural check but falls to all three semantic passes, while the
+//! benign families stay clean on both tiers.
 //!
 //! # Example
 //!
@@ -58,20 +85,24 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod cache;
 pub mod cli;
 mod config;
 mod diag;
 mod pass;
 pub mod passes;
+pub mod semantic;
 mod timing;
 
 pub use analysis::Analysis;
+pub use cache::ScanCache;
 pub use config::{
-    apply_suppressions, ArrayConfig, CheckerConfig, ClockConfig, DelayLineConfig, LoopConfig,
-    ObservationConfig, ScoapConfig, SignatureConfig, Suppression,
+    apply_suppressions, ActivityConfig, ArrayConfig, BandwidthConfig, CheckerConfig, ClockConfig,
+    DelayLineConfig, LoopConfig, ObservationConfig, ScoapConfig, SignatureConfig, Suppression,
+    TaintConfig,
 };
 pub use diag::{span_of, CheckKind, CheckReport, Finding, Severity, SpanNet, MAX_SPAN_NETS};
-pub use pass::{Pass, PassManager};
+pub use pass::{Pass, PassManager, Prior};
 pub use timing::check_timing;
 
 use slm_netlist::Netlist;
@@ -84,6 +115,18 @@ pub fn check_structure(nl: &Netlist) -> CheckReport {
 /// Runs the full structural pipeline with explicit thresholds.
 pub fn check_structure_with(nl: &Netlist, config: &CheckerConfig) -> CheckReport {
     PassManager::structural().run(nl, config)
+}
+
+/// Runs the combined structural + semantic pipeline with default
+/// thresholds. This is what `slm-scan` runs at admission.
+pub fn check_full(nl: &Netlist) -> CheckReport {
+    check_full_with(nl, &CheckerConfig::default())
+}
+
+/// Runs the combined structural + semantic pipeline with explicit
+/// thresholds.
+pub fn check_full_with(nl: &Netlist, config: &CheckerConfig) -> CheckReport {
+    PassManager::full().run(nl, config)
 }
 
 #[cfg(test)]
@@ -316,5 +359,104 @@ mod tests {
         let names = PassManager::structural().pass_names();
         assert_eq!(names.len(), 7);
         assert!(names.contains(&"scoap-sensor") && names.contains(&"signature"));
+        let full = PassManager::full().pass_names();
+        assert_eq!(full.len(), 10);
+        assert!(full.contains(&"clock-taint") && full.contains(&"observation-bandwidth"));
+    }
+
+    #[test]
+    fn dependency_schedule_orders_semantic_after_prerequisites() {
+        let schedule = PassManager::full().schedule();
+        let level_of = |pass: &str| {
+            schedule
+                .iter()
+                .position(|lvl| lvl.contains(&pass))
+                .unwrap_or_else(|| panic!("{pass} not scheduled"))
+        };
+        // dependents strictly after their declared dependencies
+        assert!(level_of("switching-activity") > level_of("scoap-sensor"));
+        assert!(level_of("observation-bandwidth") > level_of("clock-taint"));
+        // all seven structural passes plus clock-taint are independent
+        assert_eq!(schedule[0].len(), 8, "{schedule:?}");
+    }
+
+    #[test]
+    fn semantic_suite_catches_the_declared_clock_sensor() {
+        // The carry-chain sensor with a contract-declared clock pin is
+        // the specimen structural screening cannot see.
+        let nl = slm_netlist::generators::carry_sensor(64, 4).unwrap();
+        assert!(
+            check_structure(&nl).is_clean(),
+            "structurally clean by design"
+        );
+        let config = CheckerConfig {
+            taint: TaintConfig {
+                declared_clocks: vec!["sense".into()],
+                ..TaintConfig::default()
+            },
+            ..CheckerConfig::default()
+        };
+        let r = check_full_with(&nl, &config);
+        assert!(r.flagged(CheckKind::ClockTaint), "{r:?}");
+        assert!(r.flagged(CheckKind::SwitchingActivity), "{r:?}");
+        assert!(r.flagged(CheckKind::ObservationBandwidth), "{r:?}");
+        assert_eq!(r.max_severity(), Some(Severity::Reject));
+        // without the contract declaration the taint seed disappears
+        let r = check_full(&nl);
+        assert!(!r.flagged(CheckKind::ClockTaint), "{r:?}");
+    }
+
+    #[test]
+    fn semantic_suite_stays_quiet_on_benign_designs() {
+        for nl in [alu(192).unwrap(), array_multiplier(16).unwrap(), c17()] {
+            let r = check_full(&nl);
+            assert!(
+                r.active().all(|f| f.severity == Severity::Info),
+                "{} semantically flagged: {:?}",
+                nl.name(),
+                r.findings
+            );
+            assert!(r.is_clean(), "{}: {:?}", nl.name(), r.findings);
+        }
+    }
+
+    #[test]
+    fn cached_rescan_is_bit_identical() {
+        let cache = ScanCache::in_memory();
+        let pm = PassManager::full();
+        let nl = tdc_delay_line(64).unwrap();
+        let config = CheckerConfig::default();
+        let cold = pm.run_cached(&nl, &config, &cache);
+        let warm = pm.run_cached(&nl, &config, &cache);
+        assert_eq!(cold.to_json(), warm.to_json());
+        assert!(
+            cache.hits() >= pm.pass_names().len() as u64,
+            "warm scan replays"
+        );
+        // a config change invalidates the key
+        let strict = CheckerConfig {
+            bandwidth: BandwidthConfig {
+                warn_bits_per_cycle: 1,
+            },
+            ..CheckerConfig::default()
+        };
+        let miss_before = cache.misses();
+        let _ = pm.run_cached(&nl, &strict, &cache);
+        assert!(cache.misses() > miss_before);
+    }
+
+    #[test]
+    fn parallel_full_scan_matches_serial() {
+        let pm = PassManager::full();
+        let config = CheckerConfig::default();
+        for nl in [
+            tdc_delay_line(64).unwrap(),
+            ring_oscillator(8).unwrap(),
+            slm_netlist::generators::carry_sensor(32, 4).unwrap(),
+        ] {
+            let serial = pm.run(&nl, &config);
+            let par = pm.run_parallel(&nl, &config, 4);
+            assert_eq!(serial.to_json(), par.to_json(), "{}", nl.name());
+        }
     }
 }

@@ -1,29 +1,87 @@
 //! The pass abstraction and the manager that drives a scan.
+//!
+//! Passes declare data dependencies on other passes by name
+//! ([`Pass::depends_on`]); the [`PassManager`] topologically groups
+//! them into *levels* and can run the independent passes of a level in
+//! parallel ([`PassManager::run_parallel`]) or replay per-pass results
+//! from a content-addressed [`ScanCache`]
+//! ([`PassManager::run_cached`]). Every execution mode concatenates
+//! per-pass findings in registration order, so reports are bit-identical
+//! across serial, parallel and cached runs — the property the scan
+//! determinism proptests pin.
 
 use crate::analysis::Analysis;
+use crate::cache::ScanCache;
 use crate::config::{apply_suppressions, CheckerConfig};
 use crate::diag::{CheckReport, Finding};
 use crate::passes;
 use slm_netlist::Netlist;
 
-/// One structural analysis over a netlist.
+/// One structural or semantic analysis over a netlist.
 ///
 /// Passes are stateless: all tunables come from the [`CheckerConfig`]
 /// section they own, and all shared graph facts from the [`Analysis`]
-/// context, so a [`PassManager`] can run any subset in any order. The
-/// `Send + Sync` bound is what lets one manager scan many designs
-/// concurrently ([`PassManager::run_many`]) — statelessness makes it
-/// trivially satisfiable.
+/// context, so a [`PassManager`] can run any subset in any order that
+/// respects [`Pass::depends_on`]. The `Send + Sync` bound is what lets
+/// one manager scan many designs concurrently
+/// ([`PassManager::run_many`]) and fan independent passes of one scan
+/// across threads ([`PassManager::run_parallel`]).
 pub trait Pass: Send + Sync {
-    /// Short stable identifier (used in findings, suppressions and the
-    /// detection matrix).
+    /// Short stable identifier (used in findings, suppressions, cache
+    /// keys and the detection matrix).
     fn name(&self) -> &'static str;
 
     /// One-line description for `--list-passes` style output.
     fn description(&self) -> &'static str;
 
-    /// Runs the analysis, appending findings.
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>);
+    /// Names of passes whose findings this pass consumes via [`Prior`].
+    ///
+    /// Dependencies bind to *earlier-registered* passes only; a name
+    /// that is not registered (or registered later) resolves to an
+    /// empty finding list. This keeps serial registration-order
+    /// execution and level-parallel execution observably identical.
+    fn depends_on(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Runs the analysis, appending findings. `prior` exposes the
+    /// findings of the passes named in [`Pass::depends_on`].
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    );
+}
+
+/// Read-only view of dependency passes' findings, handed to
+/// [`Pass::run`].
+///
+/// Only the passes named in [`Pass::depends_on`] are visible — never
+/// "whatever happened to run earlier" — which is what makes serial and
+/// level-parallel scheduling produce identical reports.
+pub struct Prior<'a> {
+    entries: Vec<(&'static str, &'a [Finding])>,
+}
+
+impl<'a> Prior<'a> {
+    /// A view with no dependencies (for running a pass standalone).
+    pub fn empty() -> Prior<'static> {
+        Prior {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The findings of dependency `pass`, or an empty slice when the
+    /// dependency is absent from the pipeline.
+    pub fn findings_of(&self, pass: &str) -> &[Finding] {
+        self.entries
+            .iter()
+            .find(|(name, _)| *name == pass)
+            .map(|(_, f)| *f)
+            .unwrap_or(&[])
+    }
 }
 
 /// Runs an ordered set of passes over a netlist and assembles the
@@ -39,7 +97,7 @@ impl PassManager {
         PassManager { passes: Vec::new() }
     }
 
-    /// The full structural pipeline, in the order findings appear in
+    /// The structural pipeline, in the order findings appear in
     /// reports: loops, delay lines, trivial arrays, clock misuse,
     /// SCOAP sensor-likeness, subgraph signatures, and the opt-in
     /// observation-density heuristic.
@@ -52,6 +110,30 @@ impl PassManager {
         pm.push(Box::new(passes::ScoapSensorPass));
         pm.push(Box::new(passes::SignaturePass));
         pm.push(Box::new(passes::ObservationDensityPass));
+        pm
+    }
+
+    /// The semantic pipeline alone: clock-taint dataflow, the static
+    /// switching-activity estimator, and observation bandwidth.
+    ///
+    /// Note the activity pass upgrades SCOAP findings only when the
+    /// SCOAP pass is present (as in [`PassManager::full`]); standalone
+    /// it still performs its own taps/glitch analysis.
+    pub fn semantic() -> Self {
+        let mut pm = PassManager::empty();
+        pm.push(Box::new(passes::ClockTaintPass));
+        pm.push(Box::new(passes::SwitchingActivityPass));
+        pm.push(Box::new(passes::ObservationBandwidthPass));
+        pm
+    }
+
+    /// The full admission pipeline: every structural pass followed by
+    /// every semantic pass.
+    pub fn full() -> Self {
+        let mut pm = PassManager::structural();
+        pm.push(Box::new(passes::ClockTaintPass));
+        pm.push(Box::new(passes::SwitchingActivityPass));
+        pm.push(Box::new(passes::ObservationBandwidthPass));
         pm
     }
 
@@ -70,9 +152,160 @@ impl PassManager {
         self.passes.iter().map(Box::as_ref)
     }
 
+    /// Groups pass indices into dependency levels: every pass sits one
+    /// level below the deepest of its (earlier-registered) dependencies,
+    /// and passes within a level are independent — the unit of
+    /// intra-scan parallelism.
+    fn levels(&self) -> Vec<Vec<usize>> {
+        let n = self.passes.len();
+        let mut level = vec![0usize; n];
+        for i in 0..n {
+            for dep in self.passes[i].depends_on() {
+                if let Some(j) = self.passes[..i].iter().position(|p| p.name() == *dep) {
+                    level[i] = level[i].max(level[j] + 1);
+                }
+            }
+        }
+        let depth = level.iter().copied().max().map_or(0, |d| d + 1);
+        let mut groups = vec![Vec::new(); depth];
+        for (i, &l) in level.iter().enumerate() {
+            groups[l].push(i);
+        }
+        groups
+    }
+
+    /// The schedule as pass-name levels, for display and tests.
+    pub fn schedule(&self) -> Vec<Vec<&'static str>> {
+        self.levels()
+            .iter()
+            .map(|lvl| lvl.iter().map(|&i| self.passes[i].name()).collect())
+            .collect()
+    }
+
+    /// Builds the [`Prior`] view for pass `i` from completed results.
+    fn prior_for<'a>(&self, i: usize, results: &'a [Option<Vec<Finding>>]) -> Prior<'a> {
+        let entries = self.passes[i]
+            .depends_on()
+            .iter()
+            .filter_map(|dep| {
+                let j = self.passes[..i].iter().position(|p| p.name() == *dep)?;
+                let findings = results[j].as_deref()?;
+                Some((*dep, findings))
+            })
+            .collect();
+        Prior { entries }
+    }
+
+    /// The shared executor behind every run mode.
+    ///
+    /// `cache` replays per-pass findings keyed by netlist + config
+    /// content hashes; when *every* pass hits, the report is assembled
+    /// without even building the [`Analysis`]. `workers != 1` fans the
+    /// independent passes of each dependency level over a `slm-par`
+    /// pool. Findings are always concatenated in registration order and
+    /// suppressed afterwards, so all modes emit bit-identical reports.
+    pub(crate) fn execute(
+        &self,
+        nl: &Netlist,
+        config: &CheckerConfig,
+        cache: Option<&ScanCache>,
+        workers: usize,
+        obs: &slm_obs::Obs,
+    ) -> CheckReport {
+        let n = self.passes.len();
+        let scan_key = cache.map(|c| c.scan_key(nl, config));
+        let cached: Vec<Option<Vec<Finding>>> = match (cache, scan_key) {
+            (Some(cache), Some(key)) => self
+                .passes
+                .iter()
+                .map(|p| cache.get(key, p.name()))
+                .collect(),
+            _ => vec![None; n],
+        };
+        let mut report = CheckReport::for_netlist(nl);
+        if n > 0 && cached.iter().all(Option::is_some) {
+            // Full cache hit: no analysis, no pass runs.
+            for findings in cached.into_iter().flatten() {
+                report.findings.extend(findings);
+            }
+            self.finish(config, &mut report, obs);
+            return report;
+        }
+        let cx = {
+            let _span = obs.span("checker.analysis");
+            Analysis::new(nl)
+        };
+        let mut results: Vec<Option<Vec<Finding>>> = cached;
+        for level in self.levels() {
+            let pending: Vec<usize> = level
+                .iter()
+                .copied()
+                .filter(|&i| results[i].is_none())
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            if workers == 1 || pending.len() == 1 {
+                for &i in &pending {
+                    let _span = obs.span(self.passes[i].name());
+                    let prior = self.prior_for(i, &results);
+                    let mut out = Vec::new();
+                    self.passes[i].run(&cx, config, &prior, &mut out);
+                    results[i] = Some(out);
+                }
+            } else {
+                // Obs frames are forked per pass and absorbed in
+                // registration order, keeping metrics worker-count
+                // invariant.
+                let ran = slm_par::par_map(workers, &pending, |&i| {
+                    let pass_obs = obs.fork();
+                    let mut out = Vec::new();
+                    {
+                        let _span = pass_obs.span(self.passes[i].name());
+                        let prior = self.prior_for(i, &results);
+                        self.passes[i].run(&cx, config, &prior, &mut out);
+                    }
+                    (out, pass_obs.snapshot())
+                });
+                for (&i, (out, frame)) in pending.iter().zip(ran) {
+                    obs.absorb(&frame);
+                    results[i] = Some(out);
+                }
+            }
+            if let (Some(cache), Some(key)) = (cache, scan_key) {
+                for &i in &pending {
+                    cache.put(
+                        key,
+                        self.passes[i].name(),
+                        results[i].as_ref().expect("just ran"),
+                    );
+                }
+            }
+        }
+        for findings in results.into_iter().flatten() {
+            report.findings.extend(findings);
+        }
+        self.finish(config, &mut report, obs);
+        report
+    }
+
+    /// Applies suppressions and records severity counters.
+    fn finish(&self, config: &CheckerConfig, report: &mut CheckReport, obs: &slm_obs::Obs) {
+        apply_suppressions(config, &mut report.findings);
+        if obs.enabled() {
+            for f in report.active() {
+                match f.severity {
+                    crate::diag::Severity::Info => obs.incr("checker.findings.info"),
+                    crate::diag::Severity::Warn => obs.incr("checker.findings.warn"),
+                    crate::diag::Severity::Reject => obs.incr("checker.findings.reject"),
+                }
+            }
+        }
+    }
+
     /// Scans `nl`: builds the shared [`Analysis`] once, runs every
-    /// pass, then applies the suppression rules (which never hide a
-    /// `Reject`).
+    /// pass in dependency order, then applies the suppression rules
+    /// (which never hide a `Reject`).
     pub fn run(&self, nl: &Netlist, config: &CheckerConfig) -> CheckReport {
         self.run_recorded(nl, config, &slm_obs::Obs::null())
     }
@@ -87,26 +320,50 @@ impl PassManager {
         config: &CheckerConfig,
         obs: &slm_obs::Obs,
     ) -> CheckReport {
-        let cx = {
-            let _span = obs.span("checker.analysis");
-            Analysis::new(nl)
-        };
-        let mut report = CheckReport::for_netlist(nl);
-        for pass in &self.passes {
-            let _span = obs.span(pass.name());
-            pass.run(&cx, config, &mut report.findings);
-        }
-        apply_suppressions(config, &mut report.findings);
-        if obs.enabled() {
-            for f in report.active() {
-                match f.severity {
-                    crate::diag::Severity::Info => obs.incr("checker.findings.info"),
-                    crate::diag::Severity::Warn => obs.incr("checker.findings.warn"),
-                    crate::diag::Severity::Reject => obs.incr("checker.findings.reject"),
-                }
-            }
-        }
-        report
+        self.execute(nl, config, None, 1, obs)
+    }
+
+    /// Scans `nl` with the independent passes of each dependency level
+    /// fanned over up to `workers` threads (0 = machine parallelism).
+    ///
+    /// The report is bit-identical to [`PassManager::run`].
+    pub fn run_parallel(
+        &self,
+        nl: &Netlist,
+        config: &CheckerConfig,
+        workers: usize,
+    ) -> CheckReport {
+        self.execute(nl, config, None, workers, &slm_obs::Obs::null())
+    }
+
+    /// Scans `nl` replaying per-pass findings from `cache` where the
+    /// netlist + config content hashes match, and populating the cache
+    /// for the passes that had to run.
+    ///
+    /// A full hit skips analysis construction entirely; the report is
+    /// bit-identical to [`PassManager::run`] either way.
+    pub fn run_cached(
+        &self,
+        nl: &Netlist,
+        config: &CheckerConfig,
+        cache: &ScanCache,
+    ) -> CheckReport {
+        self.execute(nl, config, Some(cache), 1, &slm_obs::Obs::null())
+    }
+
+    /// Scans a batch of netlists on up to `workers` threads, sharing
+    /// one scan cache across the batch. Reports come back in input
+    /// order, bit-identical to calling [`PassManager::run`] per design.
+    pub fn run_batch(
+        &self,
+        netlists: &[&Netlist],
+        config: &CheckerConfig,
+        cache: Option<&ScanCache>,
+        workers: usize,
+    ) -> Vec<CheckReport> {
+        slm_par::par_map(workers, netlists, |nl| {
+            self.execute(nl, config, cache, 1, &slm_obs::Obs::null())
+        })
     }
 
     /// Scans many netlists on up to `workers` threads (0 = machine
@@ -153,6 +410,6 @@ impl PassManager {
 
 impl Default for PassManager {
     fn default() -> Self {
-        PassManager::structural()
+        PassManager::full()
     }
 }

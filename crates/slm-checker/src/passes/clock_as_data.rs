@@ -3,7 +3,7 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{span_of, CheckKind, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 
 /// Strips a trailing `[index]` bus suffix and lowercases.
 fn base_name(name: &str) -> String {
@@ -32,7 +32,13 @@ impl Pass for ClockAsDataPass {
         "clock inputs used as combinational data signals"
     }
 
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        _prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    ) {
         let nl = cx.netlist();
         for &input in nl.inputs() {
             let Some(name) = nl.net_name(input) else {

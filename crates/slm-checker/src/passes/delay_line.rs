@@ -3,7 +3,7 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{span_of, CheckKind, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 use slm_netlist::{GateKind, NetId};
 
 /// Walks maximal chains of single-fanin `BUF`/`NOT` cells and flags
@@ -25,7 +25,13 @@ impl Pass for DelayLinePass {
         "long, densely tapped buffer/inverter chains (TDC sensors)"
     }
 
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        _prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    ) {
         let nl = cx.netlist();
         let is_chain_cell = |id: NetId| {
             matches!(nl.gate(id).kind, GateKind::Buf | GateKind::Not)

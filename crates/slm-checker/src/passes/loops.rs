@@ -3,7 +3,7 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{span_of, CheckKind, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 
 /// Reports every combinational feedback loop with its complete
 /// membership (Tarjan SCCs), not just one topological-sort witness.
@@ -22,7 +22,13 @@ impl Pass for SccLoopPass {
         "combinational feedback loops via strongly connected components"
     }
 
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        _prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    ) {
         let nl = cx.netlist();
         let loops = cx.loops();
         for (i, comp) in loops.iter().enumerate() {

@@ -1,17 +1,23 @@
-//! The structural analyses.
+//! The structural and semantic analyses.
 
+mod activity;
+mod bandwidth;
 mod clock_as_data;
 mod delay_line;
 mod loops;
 mod observation;
 mod scoap;
 mod signature;
+mod taint;
 mod trivial_array;
 
+pub use activity::SwitchingActivityPass;
+pub use bandwidth::ObservationBandwidthPass;
 pub use clock_as_data::ClockAsDataPass;
 pub use delay_line::DelayLinePass;
 pub use loops::SccLoopPass;
 pub use observation::ObservationDensityPass;
 pub use scoap::ScoapSensorPass;
 pub use signature::SignaturePass;
+pub use taint::ClockTaintPass;
 pub use trivial_array::TrivialArrayPass;

@@ -3,7 +3,7 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{CheckKind, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 use slm_netlist::GateKind;
 
 /// Warns when an unusually large fraction of the logic is observed at
@@ -25,7 +25,13 @@ impl Pass for ObservationDensityPass {
         "opt-in heuristic: fraction of logic observed at outputs"
     }
 
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        _prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    ) {
         if !config.observation.enable {
             return;
         }

@@ -3,7 +3,7 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{span_of, CheckKind, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 use slm_netlist::{GateKind, NetId, Netlist};
 
 /// Saturation ceiling for SCOAP scores (uncontrollable / unobservable).
@@ -130,7 +130,13 @@ impl Pass for ScoapSensorPass {
         "SCOAP-style sensor-likeness of endpoint registers"
     }
 
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        _prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    ) {
         let nl = cx.netlist();
         let Ok(order) = nl.topological_order() else {
             return; // cyclic designs are rejected by the loop pass
@@ -138,17 +144,8 @@ impl Pass for ScoapSensorPass {
         if nl.outputs().is_empty() {
             return;
         }
-        // Logic depth per net.
-        let mut level = vec![0usize; nl.len()];
-        for &v in order {
-            let g = nl.gate(v);
-            if !matches!(
-                g.kind,
-                GateKind::Input | GateKind::Const0 | GateKind::Const1
-            ) {
-                level[v.index()] = 1 + g.fanin.iter().map(|f| level[f.index()]).max().unwrap_or(0);
-            }
-        }
+        // Logic depth per net, shared with the semantic passes.
+        let level = cx.levels().expect("acyclic netlist has levels");
         let (cc0, cc1) = controllability(nl, order);
         let co = observability(cx, order, &cc0, &cc1);
         // Fanin-cone size per endpoint, via an epoch-stamped DFS.

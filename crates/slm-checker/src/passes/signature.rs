@@ -3,7 +3,7 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{span_of, CheckKind, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 use slm_netlist::{GateKind, NetId};
 
 /// Matches the two known-bad sensor motifs even when obfuscated with
@@ -192,7 +192,13 @@ impl Pass for SignaturePass {
         "known-bad subgraph motifs (RO cell, tapped delay chain) modulo buffers"
     }
 
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        _prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    ) {
         self.match_rings(cx, config, findings);
         self.match_tapped_chain(cx, config, findings);
     }

@@ -3,7 +3,7 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{CheckKind, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 use slm_netlist::GateKind;
 
 /// Flags netlists that are overwhelmingly made of tiny replicated
@@ -21,7 +21,13 @@ impl Pass for TrivialArrayPass {
         "large arrays of replicated trivial cells (power viruses)"
     }
 
-    fn run(&self, cx: &Analysis<'_>, config: &CheckerConfig, findings: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        cx: &Analysis<'_>,
+        config: &CheckerConfig,
+        _prior: &Prior<'_>,
+        findings: &mut Vec<Finding>,
+    ) {
         let nl = cx.netlist();
         let trivial = nl
             .gates()

@@ -1,0 +1,401 @@
+//! Shared semantic dataflow facts: clock-taint propagation and static
+//! switching-activity estimation.
+//!
+//! The structural passes reason about *topology* (loops, chains,
+//! arrays, signatures); a sensor built from genuinely benign logic — an
+//! adder whose carry-in is the fabric clock — has none of the known-bad
+//! topology and sails through all of them. The facts computed here
+//! reason about *dataflow* instead: where clock-rate toggling can reach
+//! (a worklist fixpoint over a three-point taint lattice) and how much
+//! switching it can cause there (transition densities in the style of
+//! Najm's transition-density analysis, plus a worst-case glitch bound).
+//! Three semantic passes consume them; the computations are pure
+//! functions of the [`Analysis`] context and the checker config, so
+//! results are deterministic regardless of pass scheduling.
+
+use crate::analysis::Analysis;
+use crate::config::CheckerConfig;
+use slm_netlist::{GateKind, NetId};
+
+/// The taint lattice: `Untainted < DataRate < ClockRate`.
+///
+/// A net is `ClockRate` when clock-derived toggling can reach it —
+/// seeded at clock-fed inputs and at combinational-loop members (a
+/// self-oscillator is its own clock). `DataRate` marks reachability
+/// from ordinary inputs only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Taint {
+    /// Driven by constants only.
+    Untainted,
+    /// Reachable from data inputs, not from any clock seed.
+    DataRate,
+    /// Reachable from a clock seed or oscillating loop.
+    ClockRate,
+}
+
+/// Depth value meaning "not reached from a clock seed".
+pub const DEPTH_UNREACHED: u32 = u32::MAX;
+
+/// Result of the clock-taint fixpoint.
+#[derive(Debug, Clone)]
+pub struct TaintFacts {
+    /// Per-net taint level, indexed by [`NetId::index`].
+    pub taint: Vec<Taint>,
+    /// Per-net minimum count of non-buffer gates on any clock path
+    /// ([`DEPTH_UNREACHED`] when the net is not clock-tainted). Depth 0
+    /// means the clock is merely forwarded through buffers.
+    pub depth: Vec<u32>,
+    /// The seed nets: clock-fed inputs and loop members.
+    pub seeds: Vec<NetId>,
+}
+
+/// Strips a trailing `[index]` bus suffix and lowercases.
+pub(crate) fn base_name(name: &str) -> String {
+    let stem = match name.find('[') {
+        Some(i) if name.ends_with(']') => &name[..i],
+        _ => name,
+    };
+    stem.to_ascii_lowercase()
+}
+
+/// The clock seed nets: inputs whose base name matches
+/// [`crate::ClockConfig::clock_names`], inputs the interface contract
+/// declares clock-fed ([`crate::TaintConfig::declared_clocks`], exact
+/// names), and every combinational-loop member.
+pub fn clock_seeds(cx: &Analysis<'_>, config: &CheckerConfig) -> Vec<NetId> {
+    let nl = cx.netlist();
+    let mut seeds = Vec::new();
+    for &input in nl.inputs() {
+        let Some(name) = nl.net_name(input) else {
+            continue;
+        };
+        if config.clock.clock_names.contains(&base_name(name))
+            || config.taint.declared_clocks.iter().any(|d| d == name)
+        {
+            seeds.push(input);
+        }
+    }
+    for lp in cx.loops() {
+        seeds.extend(lp.iter().copied());
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
+}
+
+/// Runs the taint worklist fixpoint.
+///
+/// Transfer function: a net's taint is the join (max) of its fanin
+/// taints; clock depth is the minimum over clock-tainted fanins, plus
+/// one for every non-buffer gate. The worklist handles cyclic netlists;
+/// both components are monotone over finite chains, so the fixpoint
+/// terminates.
+pub fn compute_taint(cx: &Analysis<'_>, config: &CheckerConfig) -> TaintFacts {
+    let nl = cx.netlist();
+    let n = nl.len();
+    let mut taint = vec![Taint::Untainted; n];
+    let mut depth = vec![DEPTH_UNREACHED; n];
+    let seeds = clock_seeds(cx, config);
+    for &input in nl.inputs() {
+        taint[input.index()] = Taint::DataRate;
+    }
+    for &s in &seeds {
+        taint[s.index()] = Taint::ClockRate;
+        depth[s.index()] = 0;
+    }
+    let mut work: Vec<NetId> = (0..n as u32).map(NetId).collect();
+    let mut queued = vec![true; n];
+    let mut head = 0;
+    while head < work.len() {
+        let v = work[head];
+        head += 1;
+        queued[v.index()] = false;
+        let g = nl.gate(v);
+        let is_seed = depth[v.index()] == 0 && taint[v.index()] == Taint::ClockRate;
+        if g.kind == GateKind::Input || is_seed {
+            continue; // seeds and inputs keep their seeded state
+        }
+        let mut t = Taint::Untainted;
+        let mut d = DEPTH_UNREACHED;
+        for &f in &g.fanin {
+            t = t.max(taint[f.index()]);
+            if taint[f.index()] == Taint::ClockRate {
+                d = d.min(depth[f.index()]);
+            }
+        }
+        if t == Taint::ClockRate && d != DEPTH_UNREACHED && g.kind != GateKind::Buf {
+            d = d.saturating_add(1);
+        }
+        if t > taint[v.index()] || (t == taint[v.index()] && d < depth[v.index()]) {
+            taint[v.index()] = t;
+            depth[v.index()] = d;
+            for &succ in cx.fanout().fanouts(v) {
+                if !queued[succ.index()] {
+                    queued[succ.index()] = true;
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    TaintFacts {
+        taint,
+        depth,
+        seeds,
+    }
+}
+
+/// Saturation ceiling for the worst-case glitch bound — an XOR tree of
+/// depth *k* doubles the bound per level, so it must saturate.
+pub const GLITCH_CAP: f64 = 1e12;
+
+/// Result of the static switching-activity estimation.
+#[derive(Debug, Clone)]
+pub struct ActivityFacts {
+    /// Per-net static signal probability under the input-independence
+    /// assumption.
+    pub prob: Vec<f64>,
+    /// Per-net transition density, transitions/cycle (Najm's Boolean-
+    /// difference propagation).
+    pub density: Vec<f64>,
+    /// Per-net worst-case glitch bound: transitions/cycle with no
+    /// masking — every fanin transition may propagate. The ratio
+    /// `glitch / density` is the glitch-amplification bound of the
+    /// reconvergent logic below the net.
+    pub glitch: Vec<f64>,
+    /// Per-net clock-attributable share of the glitch bound: only
+    /// clock seeds inject density, data inputs are held still. Nonzero
+    /// exactly where clock toggling can cause switching.
+    pub clock_glitch: Vec<f64>,
+}
+
+/// Propagates signal probabilities, transition densities and glitch
+/// bounds over a topological order. Returns `None` for cyclic netlists
+/// (the loop pass already rejects those).
+pub fn compute_activity(
+    cx: &Analysis<'_>,
+    config: &CheckerConfig,
+    taint: &TaintFacts,
+) -> Option<ActivityFacts> {
+    let nl = cx.netlist();
+    let order = nl.topological_order().ok()?;
+    let n = nl.len();
+    let mut prob = vec![0.0f64; n];
+    let mut density = vec![0.0f64; n];
+    let mut glitch = vec![0.0f64; n];
+    let mut clock_glitch = vec![0.0f64; n];
+    let is_clock_seed =
+        |v: NetId| taint.taint[v.index()] == Taint::ClockRate && taint.depth[v.index()] == 0;
+    for &v in order {
+        let g = nl.gate(v);
+        match g.kind {
+            GateKind::Input => {
+                prob[v.index()] = 0.5;
+                if is_clock_seed(v) {
+                    density[v.index()] = config.activity.clock_density;
+                    clock_glitch[v.index()] = config.activity.clock_density;
+                } else {
+                    density[v.index()] = config.activity.input_density;
+                }
+                glitch[v.index()] = density[v.index()].max(config.activity.input_density);
+            }
+            GateKind::Const0 | GateKind::Const1 => {
+                prob[v.index()] = if g.kind == GateKind::Const1 { 1.0 } else { 0.0 };
+            }
+            _ => {
+                let ps: Vec<f64> = g.fanin.iter().map(|f| prob[f.index()]).collect();
+                let (p, sens): (f64, Vec<f64>) = match g.kind {
+                    GateKind::Buf => (ps[0], vec![1.0]),
+                    GateKind::Not => (1.0 - ps[0], vec![1.0]),
+                    GateKind::And | GateKind::Nand => {
+                        let all: f64 = ps.iter().product();
+                        let sens = ps
+                            .iter()
+                            .enumerate()
+                            .map(|(i, _)| {
+                                ps.iter()
+                                    .enumerate()
+                                    .filter(|&(j, _)| j != i)
+                                    .map(|(_, &pj)| pj)
+                                    .product()
+                            })
+                            .collect();
+                        (
+                            if g.kind == GateKind::And {
+                                all
+                            } else {
+                                1.0 - all
+                            },
+                            sens,
+                        )
+                    }
+                    GateKind::Or | GateKind::Nor => {
+                        let none: f64 = ps.iter().map(|&p| 1.0 - p).product();
+                        let sens = ps
+                            .iter()
+                            .enumerate()
+                            .map(|(i, _)| {
+                                ps.iter()
+                                    .enumerate()
+                                    .filter(|&(j, _)| j != i)
+                                    .map(|(_, &pj)| 1.0 - pj)
+                                    .product()
+                            })
+                            .collect();
+                        (
+                            if g.kind == GateKind::Or {
+                                1.0 - none
+                            } else {
+                                none
+                            },
+                            sens,
+                        )
+                    }
+                    GateKind::Xor | GateKind::Xnor => {
+                        // Parity is sensitized to every fanin always.
+                        let odd = ps
+                            .iter()
+                            .fold(0.0f64, |acc, &p| acc * (1.0 - p) + (1.0 - acc) * p);
+                        (
+                            if g.kind == GateKind::Xor {
+                                odd
+                            } else {
+                                1.0 - odd
+                            },
+                            vec![1.0; ps.len()],
+                        )
+                    }
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => unreachable!(),
+                };
+                prob[v.index()] = p;
+                let mut d = 0.0;
+                let mut gl = 0.0;
+                let mut cg = 0.0;
+                for (i, &f) in g.fanin.iter().enumerate() {
+                    d += sens[i] * density[f.index()];
+                    gl += glitch[f.index()];
+                    cg += clock_glitch[f.index()];
+                }
+                density[v.index()] = d.min(GLITCH_CAP);
+                glitch[v.index()] = gl.min(GLITCH_CAP);
+                clock_glitch[v.index()] = cg.min(GLITCH_CAP);
+            }
+        }
+    }
+    Some(ActivityFacts {
+        prob,
+        density,
+        glitch,
+        clock_glitch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slm_netlist::generators::{carry_sensor, clock_as_data, ring_oscillator, tdc_delay_line};
+    use slm_netlist::NetlistBuilder;
+
+    fn with_declared(clocks: &[&str]) -> CheckerConfig {
+        CheckerConfig {
+            taint: crate::TaintConfig {
+                declared_clocks: clocks.iter().map(|s| s.to_string()).collect(),
+                ..crate::TaintConfig::default()
+            },
+            ..CheckerConfig::default()
+        }
+    }
+
+    #[test]
+    fn taint_seeds_from_names_declarations_and_loops() {
+        let clk = clock_as_data(4).unwrap();
+        let cx = Analysis::new(&clk);
+        let facts = compute_taint(&cx, &CheckerConfig::default());
+        let clk_net = clk.find("clk").unwrap();
+        assert_eq!(facts.taint[clk_net.index()], Taint::ClockRate);
+        // every XOR output is clock-rate at depth 1
+        for &(_, o) in clk.outputs() {
+            assert_eq!(facts.taint[o.index()], Taint::ClockRate);
+            assert_eq!(facts.depth[o.index()], 1);
+        }
+
+        // A declared clock taints under a benign-looking name.
+        let sensor = carry_sensor(8, 2).unwrap();
+        let cx = Analysis::new(&sensor);
+        let silent = compute_taint(&cx, &CheckerConfig::default());
+        let sense = sensor.find("sense").unwrap();
+        assert_eq!(silent.taint[sense.index()], Taint::DataRate);
+        let declared = compute_taint(&cx, &with_declared(&["sense"]));
+        assert_eq!(declared.taint[sense.index()], Taint::ClockRate);
+        assert!(sensor
+            .outputs()
+            .iter()
+            .all(|&(_, o)| declared.taint[o.index()] == Taint::ClockRate));
+
+        // Loop members are their own clock; the fixpoint handles cycles.
+        let ro = ring_oscillator(4).unwrap();
+        let cx = Analysis::new(&ro);
+        let facts = compute_taint(&cx, &CheckerConfig::default());
+        let osc = ro.outputs()[0].1;
+        assert_eq!(facts.taint[osc.index()], Taint::ClockRate);
+    }
+
+    #[test]
+    fn plain_tdc_has_no_clock_taint() {
+        let tdc = tdc_delay_line(32).unwrap();
+        let cx = Analysis::new(&tdc);
+        let facts = compute_taint(&cx, &CheckerConfig::default());
+        assert!(facts.seeds.is_empty());
+        assert!(facts.taint.iter().all(|&t| t != Taint::ClockRate));
+    }
+
+    #[test]
+    fn activity_propagates_densities_and_glitch_bounds() {
+        // y = XOR(a, b): density adds, p stays 0.5.
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.xor2(a, c);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let cx = Analysis::new(&nl);
+        let config = CheckerConfig::default();
+        let taint = compute_taint(&cx, &config);
+        let facts = compute_activity(&cx, &config, &taint).unwrap();
+        assert!((facts.prob[y.index()] - 0.5).abs() < 1e-12);
+        assert!((facts.density[y.index()] - 1.0).abs() < 1e-12);
+        assert!((facts.glitch[y.index()] - 1.0).abs() < 1e-12);
+        assert_eq!(facts.clock_glitch[y.index()], 0.0);
+
+        // AND masks density (sensitization 0.5 per side) but the glitch
+        // bound still adds.
+        let mut b = NetlistBuilder::new("a");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let cx = Analysis::new(&nl);
+        let taint = compute_taint(&cx, &config);
+        let facts = compute_activity(&cx, &config, &taint).unwrap();
+        assert!((facts.density[y.index()] - 0.5).abs() < 1e-12);
+        assert!((facts.glitch[y.index()] - 1.0).abs() < 1e-12);
+
+        // Clock share flows only from the clock seed.
+        let clk = clock_as_data(2).unwrap();
+        let cx = Analysis::new(&clk);
+        let taint = compute_taint(&cx, &config);
+        let facts = compute_activity(&cx, &config, &taint).unwrap();
+        for &(_, o) in clk.outputs() {
+            assert!((facts.clock_glitch[o.index()] - config.activity.clock_density).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cyclic_netlist_has_no_activity_estimate() {
+        let ro = ring_oscillator(4).unwrap();
+        let cx = Analysis::new(&ro);
+        let config = CheckerConfig::default();
+        let taint = compute_taint(&cx, &config);
+        assert!(compute_activity(&cx, &config, &taint).is_none());
+    }
+}

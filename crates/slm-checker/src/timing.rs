@@ -3,14 +3,58 @@
 use crate::analysis::Analysis;
 use crate::config::CheckerConfig;
 use crate::diag::{span_of, CheckKind, CheckReport, Finding, Severity};
-use crate::pass::Pass;
+use crate::pass::{Pass, Prior};
 use crate::passes::SccLoopPass;
+use slm_netlist::{GateKind, NetId, Netlist};
 use slm_timing::AnnotatedDelays;
+
+/// Maximum number of gate-kind hops spelled out in the critical-path
+/// witness text (the full net list is in the span regardless).
+const MAX_CHAIN_TEXT: usize = 12;
+
+/// Renders the critical path as a gate-kind chain, e.g.
+/// `INPUT→XOR→AND→OR→…→XOR`, so a timing rejection is debuggable
+/// straight from the JSON report.
+fn gate_chain(nl: &Netlist, nets: &[NetId]) -> String {
+    let label = |id: NetId| match nl.gate(id).kind {
+        GateKind::Input => "INPUT",
+        GateKind::And => "AND",
+        GateKind::Nand => "NAND",
+        GateKind::Or => "OR",
+        GateKind::Nor => "NOR",
+        GateKind::Xor => "XOR",
+        GateKind::Xnor => "XNOR",
+        GateKind::Not => "NOT",
+        GateKind::Buf => "BUF",
+        GateKind::Const0 => "CONST0",
+        GateKind::Const1 => "CONST1",
+    };
+    if nets.len() <= MAX_CHAIN_TEXT {
+        nets.iter()
+            .map(|&id| label(id))
+            .collect::<Vec<_>>()
+            .join("\u{2192}")
+    } else {
+        let head: Vec<&str> = nets[..MAX_CHAIN_TEXT - 2]
+            .iter()
+            .map(|&id| label(id))
+            .collect();
+        format!(
+            "{}\u{2192}\u{2026}\u{2192}{}",
+            head.join("\u{2192}"),
+            label(*nets.last().expect("nonempty path")),
+        )
+    }
+}
 
 /// The strict timing pass: flags a design whose requested clock beats
 /// its STA fmax. Needs the delay annotation and the tenant's clock
 /// request — information a structural bitstream scan does not have,
 /// which is exactly the gap the paper exploits.
+///
+/// An overclock rejection carries the critical path twice: as a
+/// machine-readable span (like every structural pass) and as a
+/// human-readable gate chain in the detail text.
 ///
 /// On a cyclic netlist (where STA is undefined) the verdict is routed
 /// through the SCC oscillation pass, so the report carries the loop
@@ -29,10 +73,11 @@ pub fn check_timing(ann: &AnnotatedDelays, requested_mhz: f64) -> CheckReport {
                     "timing",
                     format!(
                         "requested {requested_mhz:.1} MHz exceeds fmax {:.1} MHz \
-                         (critical path: {} nets, {:.0} ps)",
+                         (critical path: {} nets, {:.0} ps, gate chain {})",
                         sta.fmax_mhz(),
                         nets.len(),
                         sta.critical_ps(),
+                        gate_chain(nl, &nets),
                     ),
                 )
                 .with_span(span_of(nl, &nets));
@@ -42,7 +87,12 @@ pub fn check_timing(ann: &AnnotatedDelays, requested_mhz: f64) -> CheckReport {
         }
         Err(_) => {
             let cx = Analysis::new(nl);
-            SccLoopPass.run(&cx, &CheckerConfig::default(), &mut report.findings);
+            SccLoopPass.run(
+                &cx,
+                &CheckerConfig::default(),
+                &Prior::empty(),
+                &mut report.findings,
+            );
         }
     }
     report

@@ -4,14 +4,28 @@
 
 use proptest::prelude::*;
 use slm_checker::{
-    check_structure, check_timing, CheckKind, CheckerConfig, PassManager, Severity, Suppression,
+    check_structure, check_timing, CheckKind, CheckerConfig, PassManager, ScanCache, Severity,
+    Suppression, TaintConfig,
 };
 use slm_netlist::generators::{
-    alu, array_multiplier, carry_lookahead_adder, carry_select_adder, equality_comparator,
-    kogge_stone_adder, parity_tree, ring_oscillator, ripple_carry_adder, tdc_delay_line,
-    wallace_multiplier, zoo,
+    alu, array_multiplier, carry_lookahead_adder, carry_select_adder, carry_sensor,
+    equality_comparator, kogge_stone_adder, parity_tree, ring_oscillator, ripple_carry_adder,
+    tdc_delay_line, wallace_multiplier, zoo,
 };
+use slm_netlist::Netlist;
 use slm_timing::DelayModel;
+
+/// The full-pipeline config a zoo entry is admitted under: defaults
+/// plus the entry's contract-declared clock pins.
+fn zoo_config(declared: &[&str]) -> CheckerConfig {
+    CheckerConfig {
+        taint: TaintConfig {
+            declared_clocks: declared.iter().map(|s| s.to_string()).collect(),
+            ..TaintConfig::default()
+        },
+        ..CheckerConfig::default()
+    }
+}
 
 /// A strategy over arbitrary suppression rules, including maximally
 /// greedy ones (all fields `None` matches every finding). The vendored
@@ -120,18 +134,20 @@ proptest! {
     }
 
     /// No set of suppression rules — however greedy — ever hides a
-    /// `Reject` finding: every malicious zoo design stays flagged, and
-    /// every `Reject` finding stays active in the report.
+    /// `Reject` finding: every malicious zoo design stays flagged
+    /// (under the full structural + semantic pipeline, with each
+    /// entry's contract-declared clocks), and every `Reject` finding
+    /// stays active in the report.
     #[test]
     fn suppression_never_hides_a_reject(
         rules in proptest::collection::vec(any_suppression(), 0..8)
     ) {
-        let config = CheckerConfig {
-            suppressions: rules,
-            ..CheckerConfig::default()
-        };
-        let pm = PassManager::structural();
+        let pm = PassManager::full();
         for entry in zoo().iter().filter(|e| e.malicious) {
+            let config = CheckerConfig {
+                suppressions: rules.clone(),
+                ..zoo_config(entry.declared_clocks)
+            };
             let report = pm.run(&entry.netlist, &config);
             for f in &report.findings {
                 if f.severity >= Severity::Reject {
@@ -148,6 +164,54 @@ proptest! {
                 "{}: suppressions laundered a malicious design",
                 entry.name
             );
+        }
+    }
+
+    /// Cached rescans are bit-identical to uncached scans for every
+    /// design shape — a cold populate, a warm replay, and a cacheless
+    /// run all serialize to the same report.
+    #[test]
+    fn cached_scans_are_bit_identical(n in 2usize..32, tap in 1usize..6) {
+        let pm = PassManager::full();
+        let designs: Vec<Netlist> = vec![
+            ripple_carry_adder(n).unwrap(),
+            carry_sensor(n.max(4), tap).unwrap(),
+            tdc_delay_line(n + 16).unwrap(),
+            ring_oscillator(2 * n).unwrap(),
+        ];
+        let config = zoo_config(&["sense"]);
+        let cache = ScanCache::in_memory();
+        for nl in &designs {
+            let plain = pm.run(nl, &config);
+            let cold = pm.run_cached(nl, &config, &cache);
+            let warm = pm.run_cached(nl, &config, &cache);
+            prop_assert_eq!(plain.to_json(), cold.to_json(), "{}", nl.name());
+            prop_assert_eq!(cold.to_json(), warm.to_json(), "{}", nl.name());
+        }
+        prop_assert!(cache.hits() >= (pm.pass_names().len() * designs.len()) as u64);
+    }
+
+    /// Scan reports do not depend on the worker count: intra-scan
+    /// level parallelism and batch parallelism both serialize
+    /// identically to the serial pipeline.
+    #[test]
+    fn parallel_scans_are_bit_identical(n in 2usize..32, workers in 2usize..8) {
+        let pm = PassManager::full();
+        let config = zoo_config(&["sense"]);
+        let designs: Vec<Netlist> = vec![
+            carry_sensor(n.max(4), 4).unwrap(),
+            alu(n).unwrap(),
+            tdc_delay_line(n + 16).unwrap(),
+        ];
+        let refs: Vec<&Netlist> = designs.iter().collect();
+        let serial: Vec<String> = refs.iter().map(|nl| pm.run(nl, &config).to_json()).collect();
+        for (i, nl) in refs.iter().enumerate() {
+            let par = pm.run_parallel(nl, &config, workers);
+            prop_assert_eq!(&par.to_json(), &serial[i], "{}", nl.name());
+        }
+        let batch = pm.run_batch(&refs, &config, None, workers);
+        for (i, report) in batch.iter().enumerate() {
+            prop_assert_eq!(&report.to_json(), &serial[i], "{}", refs[i].name());
         }
     }
 }

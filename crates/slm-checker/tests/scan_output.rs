@@ -240,8 +240,34 @@ fn single_generator_scan_emits_valid_json_compact_and_pretty() {
             args.push(flag.to_string());
         }
         let (out, code) = cli::run(&args).expect("generator scan must run");
-        assert_eq!(code, 1, "a malicious design must exit dirty");
+        assert_eq!(code, 2, "a rejected design must exit 2");
         assert_valid_json(&out, "slm-scan --generator tdc_obfuscated");
+    }
+}
+
+#[test]
+fn batch_scan_emits_valid_jsonl() {
+    let dir = std::env::temp_dir().join(format!("slm_scan_jsonl_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("c17.bench");
+    std::fs::write(
+        &bench,
+        slm_netlist::bench::write(&slm_netlist::generators::c17()),
+    )
+    .unwrap();
+    let list = dir.join("inputs.txt");
+    std::fs::write(
+        &list,
+        format!("{}\n/nonexistent/missing.bench\n", bench.display()),
+    )
+    .unwrap();
+    let (out, code) = cli::run(&["--batch".to_string(), list.to_str().unwrap().to_string()])
+        .expect("batch scan must run");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(code, 3, "missing input dominates the batch code");
+    // every JSONL line is independently valid JSON
+    for line in out.lines() {
+        assert_valid_json(line, "slm-scan --batch line");
     }
 }
 

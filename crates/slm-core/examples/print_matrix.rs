@@ -1,0 +1,10 @@
+//! Regenerates the README detection-matrix table:
+//!
+//! ```sh
+//! cargo run --release -p slm-core --example print_matrix
+//! ```
+
+fn main() {
+    let m = slm_core::experiments::stealth_matrix().expect("fabric builds");
+    println!("{}", m.markdown_table());
+}

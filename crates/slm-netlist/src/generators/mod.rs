@@ -26,6 +26,6 @@ pub use arch::{carry_lookahead_adder, carry_select_adder, kogge_stone_adder, wal
 pub use c6288::{array_multiplier, c6288};
 pub use misc::{c17, equality_comparator, parity_tree, ring_oscillator, tdc_delay_line};
 pub use obfuscated::{
-    clock_as_data, obfuscated_ring_oscillator, obfuscated_tdc_delay_line, ro_grid,
+    carry_sensor, clock_as_data, obfuscated_ring_oscillator, obfuscated_tdc_delay_line, ro_grid,
     tapped_carry_chain, zoo, ZooEntry,
 };

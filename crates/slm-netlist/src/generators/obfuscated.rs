@@ -173,6 +173,48 @@ pub fn tapped_carry_chain(bits: usize) -> Result<Netlist, NetlistError> {
     b.finish()
 }
 
+/// The paper's deployed sensor, submitted the way a stealthy tenant
+/// would: a real ripple-carry adder whose carry-in is the fabric clock,
+/// with the carry chain tapped only every `tap_every` bits.
+///
+/// Unlike [`tapped_carry_chain`] (taps every carry, which the signature
+/// pass's tapped-chain motif catches) the sparse taps leave
+/// `2 * tap_every` unobserved gates between observation points — past
+/// the matcher's `max_unobserved_gap` — and the clock pin is named
+/// `sense`, so the clock-as-data name screen never fires. Structurally
+/// this is indistinguishable from a benign adder; it is the specimen
+/// the *semantic* passes exist for. At admission time the provider
+/// still knows `sense` is clock-fed, because the tenant has to request
+/// clock routing from the shell — the zoo records that contract in
+/// [`ZooEntry::declared_clocks`].
+pub fn carry_sensor(bits: usize, tap_every: usize) -> Result<Netlist, NetlistError> {
+    if bits == 0 || tap_every == 0 {
+        return Err(NetlistError::BadGeneratorParameter(
+            "carry sensor needs nonzero width and tap spacing".into(),
+        ));
+    }
+    let mut b = NetlistBuilder::new(format!("carry_sensor{bits}"));
+    let a = b.input_bus("a", bits);
+    let y = b.input_bus("b", bits);
+    let sense = b.input("sense");
+    let mut carry = sense;
+    let mut sums = Vec::with_capacity(bits);
+    let mut taps = Vec::new();
+    for i in 0..bits {
+        let axb = b.xor2(a[i], y[i]);
+        sums.push(b.xor2(axb, carry));
+        let g0 = b.and2(a[i], y[i]);
+        let g1 = b.and2(axb, carry);
+        carry = b.or2(g0, g1);
+        if (i + 1) % tap_every == 0 {
+            taps.push(b.buf(carry));
+        }
+    }
+    b.output_bus("s", &sums);
+    b.output_bus("t", &taps);
+    b.finish()
+}
+
 /// One design in the detection-matrix zoo.
 #[derive(Debug, Clone)]
 pub struct ZooEntry {
@@ -181,6 +223,13 @@ pub struct ZooEntry {
     /// Whether the design is malicious by construction (must be flagged
     /// by at least one structural pass) or benign (must stay clean).
     pub malicious: bool,
+    /// Input pins the tenant's interface contract declares as clock-fed.
+    ///
+    /// In the deployment model the provider's shell owns clock routing,
+    /// so a tenant wanting the clock on a pin must say so regardless of
+    /// what the pin is named — this is what seeds the semantic
+    /// clock-taint pass when net names lie.
+    pub declared_clocks: &'static [&'static str],
     /// The built netlist.
     pub netlist: Netlist,
 }
@@ -202,6 +251,7 @@ pub fn zoo() -> Vec<ZooEntry> {
     let entry = |name, malicious, netlist| ZooEntry {
         name,
         malicious,
+        declared_clocks: &[],
         netlist,
     };
     vec![
@@ -221,6 +271,12 @@ pub fn zoo() -> Vec<ZooEntry> {
         ),
         entry("clock_as_data", true, clock_as_data(16).unwrap()),
         entry("tapped_carry_chain", true, tapped_carry_chain(64).unwrap()),
+        ZooEntry {
+            name: "carry_sensor",
+            malicious: true,
+            declared_clocks: &["sense"],
+            netlist: carry_sensor(64, 4).unwrap(),
+        },
         // Benign — the paper's sensors and ordinary logic families.
         entry("alu192", false, alu(192).unwrap()),
         entry("dual_c6288", false, dual),
@@ -314,9 +370,38 @@ mod tests {
     }
 
     #[test]
+    fn carry_sensor_is_a_real_adder_with_sparse_taps() {
+        let nl = carry_sensor(16, 4).unwrap();
+        // 16 sums + 4 sparse carry taps.
+        assert_eq!(nl.outputs().len(), 20);
+        // With sense (carry-in) low: s = a + b (mod 2^16).
+        let mut ins = vec![false; 33];
+        ins[0] = true; // a = 1
+        ins[16] = true; // b = 1
+        let out = nl.eval(&ins).unwrap();
+        let sum: u32 = out[..16]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| u32::from(v) << i)
+            .sum();
+        assert_eq!(sum, 2);
+        // With sense high: carry-in adds one.
+        ins[32] = true;
+        let out = nl.eval(&ins).unwrap();
+        let sum: u32 = out[..16]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| u32::from(v) << i)
+            .sum();
+        assert_eq!(sum, 3);
+        assert!(carry_sensor(0, 4).is_err());
+        assert!(carry_sensor(16, 0).is_err());
+    }
+
+    #[test]
     fn zoo_is_complete_and_well_formed() {
         let zoo = zoo();
-        assert_eq!(zoo.iter().filter(|e| e.malicious).count(), 7);
+        assert_eq!(zoo.iter().filter(|e| e.malicious).count(), 8);
         assert!(zoo.iter().filter(|e| !e.malicious).count() >= 9);
         let mut names: Vec<&str> = zoo.iter().map(|e| e.name).collect();
         names.sort_unstable();

@@ -336,6 +336,56 @@ impl Netlist {
         Netlist::from_parts(name, gates, inputs, outputs, net_names)
     }
 
+    /// A stable FNV-1a fingerprint of the netlist's full content.
+    ///
+    /// Covers the name, every gate (kind and fanin list), the primary
+    /// input/output declarations, and all net names — everything the
+    /// checker passes can observe. Two netlists with equal hashes are
+    /// treated as identical by the scan cache, so the hash must change
+    /// whenever any analyzable detail changes.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&[0xff]);
+        for g in &self.gates {
+            eat(&[g.kind as u8, 0xfe]);
+            eat(&(g.fanin.len() as u32).to_le_bytes());
+            for &f in &g.fanin {
+                eat(&f.0.to_le_bytes());
+            }
+        }
+        eat(&[0xfd]);
+        for &i in &self.inputs {
+            eat(&i.0.to_le_bytes());
+        }
+        eat(&[0xfc]);
+        for (n, o) in &self.outputs {
+            eat(n.as_bytes());
+            eat(&[0xfb]);
+            eat(&o.0.to_le_bytes());
+        }
+        eat(&[0xfa]);
+        for n in &self.net_names {
+            match n {
+                Some(n) => {
+                    eat(&[1]);
+                    eat(n.as_bytes());
+                }
+                None => eat(&[0]),
+            }
+            eat(&[0xf9]);
+        }
+        h
+    }
+
     /// The transitive fanin cone of a net, as a sorted list of net ids.
     pub fn fanin_cone(&self, root: NetId) -> Vec<NetId> {
         let mut seen = vec![false; self.gates.len()];
@@ -477,6 +527,35 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, NetlistError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn content_hash_tracks_observable_changes() {
+        let nl = xor_tree();
+        let same = xor_tree();
+        assert_eq!(nl.content_hash(), same.content_hash());
+
+        // Renaming an output changes the hash.
+        let mut b = NetlistBuilder::new("xt");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let x = b.gate(GateKind::Xor, &[a, c]);
+        let y = b.gate(GateKind::Xor, &[x, d]);
+        b.output("z", y);
+        let renamed = b.finish().unwrap();
+        assert_ne!(nl.content_hash(), renamed.content_hash());
+
+        // Swapping a gate kind changes the hash.
+        let mut b = NetlistBuilder::new("xt");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let x = b.gate(GateKind::And, &[a, c]);
+        let y = b.gate(GateKind::Xor, &[x, d]);
+        b.output("y", y);
+        let anded = b.finish().unwrap();
+        assert_ne!(nl.content_hash(), anded.content_hash());
     }
 
     #[test]

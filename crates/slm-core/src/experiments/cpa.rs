@@ -3,10 +3,16 @@
 use serde::{Deserialize, Serialize};
 use slm_cpa::{
     common_mode_polarity, leader_margin, measurements_to_disclosure, BitActivity, CpaAttack,
-    LastRoundModel, PostProcessor, ProgressPoint,
+    LastRoundModel, PostProcessor, ProgressPoint, TraceBatch,
 };
 use slm_fabric::{AesActivity, BenignCircuit, FabricConfig, FabricError, MultiTenantFabric};
 use slm_obs::Obs;
+
+/// Traces staged per accumulator flush in the campaign loops. Chunks
+/// never cross a checkpoint boundary, and batch absorption is
+/// bit-identical to one-at-a-time absorption
+/// ([`CpaAttack::add_batch`]), so the value only affects throughput.
+pub(crate) const ABSORB_BATCH: u64 = 32;
 
 /// Which sensor feeds the attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -216,9 +222,88 @@ pub(crate) fn pilot_setup(
     ))
 }
 
+/// Whether every campaign decision for `source` is known without
+/// running pilot captures. TDC sources with a fixed (or no) tap don't
+/// depend on pilot statistics — only the result's `bits_of_interest`
+/// metadata comes from the pilot — so a sharded campaign can start
+/// capturing immediately and run the pilot concurrently as one more
+/// task on the worker pool.
+pub(crate) fn pilot_independent(source: SensorSource) -> bool {
+    matches!(
+        source,
+        SensorSource::TdcAll | SensorSource::TdcSingleBit(Some(_))
+    )
+}
+
+/// The pilot-free part of [`pilot_setup`]: geometry, model and ground
+/// truth, derivable from the fabric configuration alone. Only valid
+/// for [`pilot_independent`] sources — the fields a pilot would fill
+/// (`bits_of_interest`) are left empty and must be patched from the
+/// real pilot before assembling the result.
+pub(crate) fn geometry_setup(
+    exp: &CpaExperiment,
+    config: &FabricConfig,
+) -> Result<CampaignSetup, FabricError> {
+    debug_assert!(pilot_independent(exp.source));
+    let fabric = MultiTenantFabric::new(config)?;
+    let model = LastRoundModel::paper_target();
+    let window = fabric.last_round_window();
+    Ok(CampaignSetup {
+        model,
+        correct_key_byte: fabric.aes().round_keys()[10][model.ct_byte],
+        bits_of_interest: Vec::new(),
+        candidate_bits: Vec::new(),
+        selected_bit: match exp.source {
+            SensorSource::TdcSingleBit(Some(b)) => Some(b),
+            _ => None,
+        },
+        points: window.len(),
+        window,
+        endpoints: Vec::new(),
+        single_bit_slots: 1,
+        processor: None,
+    })
+}
+
+/// Post-processes one capture into the trace points of attack slot
+/// `slot` — the single shared definition of every sensor source's
+/// trace-point function, used by the scalar and batched absorb paths.
+fn fill_points(
+    source: SensorSource,
+    setup: &CampaignSetup,
+    rec: &slm_fabric::CaptureRecord,
+    slot: usize,
+    point_buf: &mut [f64],
+) {
+    match source {
+        SensorSource::TdcAll => {
+            for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
+                *dst = f64::from(d);
+            }
+        }
+        SensorSource::TdcSingleBit(_) => {
+            let b = setup.selected_bit.expect("set by pilot");
+            for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
+                *dst = f64::from(u8::from(d as usize >= b));
+            }
+        }
+        SensorSource::BenignSingleBit(_) => {
+            for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
+                *dst = f64::from(u8::from(s.bit(slot)));
+            }
+        }
+        SensorSource::BenignHammingWeight => {
+            let p = setup.processor.as_ref().expect("set by pilot");
+            for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
+                *dst = p.reduce(s);
+            }
+        }
+    }
+}
+
 /// Post-processes one capture into trace points and feeds the per-slot
-/// attacks. This is the campaign loop body, shared verbatim by the
-/// serial and sharded paths.
+/// attacks — the scalar campaign loop body, shared by the serial and
+/// sharded paths.
 pub(crate) fn absorb_record(
     source: SensorSource,
     setup: &CampaignSetup,
@@ -228,35 +313,40 @@ pub(crate) fn absorb_record(
     obs: &Obs,
 ) {
     obs.incr("cpa.traces_absorbed");
-    match source {
-        SensorSource::TdcAll => {
-            for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
-                *dst = f64::from(d);
-            }
-            attacks[0].add_trace_recorded(&rec.ciphertext, point_buf, obs);
+    for (slot, attack) in attacks.iter_mut().enumerate() {
+        fill_points(source, setup, rec, slot, point_buf);
+        attack.add_trace_recorded(&rec.ciphertext, point_buf, obs);
+    }
+}
+
+/// Post-processes a chunk of captures and absorbs it through the
+/// blocked SoA batch path: per slot, every record's points are staged
+/// into a [`TraceBatch`] and flushed with [`CpaAttack::add_batch`],
+/// which is bit-identical to absorbing the records one at a time in
+/// order (the accumulator cells see the same additions in the same
+/// order). `staging` buffers are cleared on return; their allocations
+/// are reused across chunks.
+pub(crate) fn absorb_batch(
+    source: SensorSource,
+    setup: &CampaignSetup,
+    recs: &[slm_fabric::CaptureRecord],
+    attacks: &mut [CpaAttack],
+    staging: &mut [TraceBatch],
+    point_buf: &mut [f64],
+    obs: &Obs,
+) {
+    obs.add("cpa.traces_absorbed", recs.len() as u64);
+    for rec in recs {
+        for (slot, batch) in staging.iter_mut().enumerate() {
+            fill_points(source, setup, rec, slot, point_buf);
+            batch.push(rec.ciphertext, point_buf);
         }
-        SensorSource::TdcSingleBit(_) => {
-            let b = setup.selected_bit.expect("set by pilot");
-            for (dst, &d) in point_buf.iter_mut().zip(&rec.tdc) {
-                *dst = f64::from(u8::from(d as usize >= b));
-            }
-            attacks[0].add_trace_recorded(&rec.ciphertext, point_buf, obs);
-        }
-        SensorSource::BenignSingleBit(_) => {
-            for (slot, attack) in attacks.iter_mut().enumerate() {
-                for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
-                    *dst = f64::from(u8::from(s.bit(slot)));
-                }
-                attack.add_trace_recorded(&rec.ciphertext, point_buf, obs);
-            }
-        }
-        SensorSource::BenignHammingWeight => {
-            let p = setup.processor.as_ref().expect("set by pilot");
-            for (dst, s) in point_buf.iter_mut().zip(&rec.benign) {
-                *dst = p.reduce(s);
-            }
-            attacks[0].add_trace_recorded(&rec.ciphertext, point_buf, obs);
-        }
+    }
+    for (attack, batch) in attacks.iter_mut().zip(staging.iter_mut()) {
+        attack
+            .add_batch_recorded(batch, obs)
+            .expect("staging geometry matches the attack");
+        batch.clear();
     }
 }
 
@@ -349,11 +439,43 @@ pub(crate) fn run_cpa_inner(
         vec![Vec::with_capacity(exp.checkpoints); setup.single_bit_slots];
     let checkpoint_every = (exp.traces / exp.checkpoints.max(1) as u64).max(1);
     let mut point_buf = vec![0.0f64; setup.points];
-    for t in 1..=exp.traces {
-        let pt = fabric.random_plaintext();
-        let rec = fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints);
-        absorb_record(exp.source, &setup, &rec, &mut attacks, &mut point_buf, obs);
+    let mut staging: Vec<TraceBatch> = (0..setup.single_bit_slots)
+        .map(|_| TraceBatch::with_capacity(setup.points, ABSORB_BATCH as usize))
+        .collect();
+    let mut recs: Vec<slm_fabric::CaptureRecord> = Vec::with_capacity(ABSORB_BATCH as usize);
+    // Chunked capture loop: up to ABSORB_BATCH traces per chunk, never
+    // crossing a checkpoint boundary. Plaintext generation stays
+    // interleaved with encryption (both draw from the fabric's seed
+    // stream), so the captured traces are the same as the one-at-a-time
+    // loop's, and batch absorption is bit-identical to scalar
+    // absorption — the whole refactor is invisible to the result.
+    let mut t = 0u64;
+    while t < exp.traces {
+        let boundary = (t / checkpoint_every + 1) * checkpoint_every;
+        let stop = boundary.min(exp.traces).min(t + ABSORB_BATCH);
+        recs.clear();
+        {
+            let _capture_span = obs.span("cpa.capture");
+            for _ in t..stop {
+                let pt = fabric.random_plaintext();
+                recs.push(fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints));
+            }
+        }
+        {
+            let _absorb_span = obs.span("cpa.absorb");
+            absorb_batch(
+                exp.source,
+                &setup,
+                &recs,
+                &mut attacks,
+                &mut staging,
+                &mut point_buf,
+                obs,
+            );
+        }
+        t = stop;
         if t % checkpoint_every == 0 || t == exp.traces {
+            let _eval_span = obs.span("cpa.eval");
             for (slot, attack) in attacks.iter().enumerate() {
                 let peaks = attack.peak_correlations().to_vec();
                 if slot == 0 {

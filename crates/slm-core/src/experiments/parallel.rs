@@ -18,11 +18,15 @@
 //! sharded: it runs once on the base configuration, exactly as the
 //! serial runner's pilot does, and every shard inherits its decisions.
 
-use super::cpa::{absorb_record, assemble_result, pilot_setup, CpaExperiment, CpaResult};
+use super::cpa::{
+    absorb_batch, assemble_result, geometry_setup, pilot_independent, pilot_setup, CampaignSetup,
+    CpaExperiment, CpaResult, ABSORB_BATCH,
+};
 use serde::{Deserialize, Serialize};
-use slm_cpa::{leader_margin, CpaAttack, ProgressPoint};
+use slm_cpa::{leader_margin, CpaAttack, ProgressPoint, TraceBatch};
 use slm_fabric::{FabricConfig, FabricError, MultiTenantFabric, ShardPlan};
 use slm_obs::{MetricsFrame, Obs};
+use slm_par::ShardSpec;
 
 /// A sharded, multi-threaded CPA campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,11 +45,14 @@ pub struct ParallelCpa {
 impl ParallelCpa {
     /// Wraps a campaign with a shard size of one sixteenth of the
     /// budget (at least 1) — enough shards to keep 8 workers busy with
-    /// dynamic balancing — and machine parallelism.
+    /// dynamic balancing — and machine parallelism. The size rounds
+    /// *up* (`div_ceil`), so the plan never grows a seventeenth,
+    /// degenerately small trailing shard the way floor division did for
+    /// budgets that aren't multiples of 16.
     pub fn new(base: CpaExperiment) -> Self {
         ParallelCpa {
             base,
-            shard_traces: (base.traces / 16).max(1),
+            shard_traces: base.traces.div_ceil(16).max(1),
             workers: 0,
         }
     }
@@ -124,6 +131,98 @@ pub fn run_cpa_parallel_with_recorded(
     run_cpa_parallel_inner(exp, tweak, obs)
 }
 
+/// Captures one shard: a chunked, batch-absorbed campaign loop on the
+/// shard's private fabric, snapshotting at every global checkpoint that
+/// falls inside the shard. Records into a private fork of `obs`; the
+/// frame travels with the partial and is folded in shard order by the
+/// caller.
+fn capture_shard(
+    base: &CpaExperiment,
+    setup: &CampaignSetup,
+    config: &FabricConfig,
+    spec: &ShardSpec,
+    checkpoint_every: u64,
+    total: u64,
+    obs: &Obs,
+) -> Result<ShardPartial, FabricError> {
+    let shard_obs = obs.fork();
+    let shard_config = config.for_shard(spec.index);
+    let mut attacks: Vec<CpaAttack> = (0..setup.single_bit_slots)
+        .map(|_| CpaAttack::new(setup.model, setup.points))
+        .collect();
+    let mut snapshots: Vec<(u64, Vec<CpaAttack>)> = Vec::new();
+    let mut point_buf = vec![0.0f64; setup.points];
+    let mut staging: Vec<TraceBatch> = (0..setup.single_bit_slots)
+        .map(|_| TraceBatch::with_capacity(setup.points, ABSORB_BATCH as usize))
+        .collect();
+    let mut recs: Vec<slm_fabric::CaptureRecord> = Vec::with_capacity(ABSORB_BATCH as usize);
+    let fabric = {
+        let _span = shard_obs.span("cpa.shard");
+        let mut fabric = {
+            let _build_span = shard_obs.span("cpa.build");
+            MultiTenantFabric::new(&shard_config)?
+        };
+        // Chunked capture, same contract as the serial loop: chunks
+        // never cross a global checkpoint boundary, and batch
+        // absorption is bit-identical to per-trace absorption.
+        let mut t = 0u64;
+        while t < spec.traces {
+            let global = spec.start + t;
+            let boundary = (global / checkpoint_every + 1) * checkpoint_every - spec.start;
+            let stop = boundary.min(spec.traces).min(t + ABSORB_BATCH);
+            recs.clear();
+            {
+                let _capture_span = shard_obs.span("cpa.capture");
+                for _ in t..stop {
+                    let pt = fabric.random_plaintext();
+                    recs.push(fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints));
+                }
+            }
+            {
+                let _absorb_span = shard_obs.span("cpa.absorb");
+                absorb_batch(
+                    base.source,
+                    setup,
+                    &recs,
+                    &mut attacks,
+                    &mut staging,
+                    &mut point_buf,
+                    &shard_obs,
+                );
+            }
+            t = stop;
+            // A progress checkpoint is a *global* trace count; the
+            // shard holding it snapshots its local state there, and
+            // the caller's merge completes the prefix.
+            let global = spec.start + t;
+            if global % checkpoint_every == 0 || global == total {
+                snapshots.push((global, attacks.clone()));
+            }
+        }
+        fabric
+    };
+    if shard_obs.enabled() {
+        let t = fabric.pdn_telemetry();
+        shard_obs.gauge("pdn.v_min", t.v_min);
+        shard_obs.gauge("pdn.v_max", t.v_max);
+        shard_obs.gauge("pdn.settled_streak", t.settled_streak as f64);
+        if let Some(d) = fabric.defense_telemetry() {
+            shard_obs.gauge("defense.injected_max_a", d.injected_max_a);
+            shard_obs.gauge("defense.injected_mean_a", d.injected_mean_a());
+            shard_obs.gauge("defense.detector_max_score", d.max_score);
+            shard_obs.add("defense.windows", d.windows);
+            shard_obs.add("defense.alarm_windows", d.alarm_windows);
+            shard_obs.add("defense.alarm_events", d.alarm_events);
+            shard_obs.add("defense.jitter_cycles", d.jitter_cycles);
+        }
+    }
+    Ok(ShardPartial {
+        snapshots,
+        attacks,
+        frame: shard_obs.snapshot(),
+    })
+}
+
 fn run_cpa_parallel_inner(
     exp: &ParallelCpa,
     tweak: impl FnOnce(&mut FabricConfig),
@@ -136,73 +235,84 @@ fn run_cpa_parallel_inner(
         ..FabricConfig::default()
     };
     tweak(&mut config);
-    // The pilot is shared: one run on the base config decides endpoint
-    // selection and post-processing for every shard.
-    let (_pilot_fabric, setup) = {
-        let _pilot_span = obs.span("cpa.pilot");
-        pilot_setup(base, &config)?
-    };
 
     let plan = exp.plan();
     let checkpoint_every = (base.traces / base.checkpoints.max(1) as u64).max(1);
     let shards = plan.shards();
-    let partials: Vec<Result<ShardPartial, FabricError>> =
-        slm_par::par_map(exp.workers, &shards, |spec| {
-            // Each shard records into a private sibling recorder; its
-            // frame travels with the partial and is folded in shard
-            // order below, never racing with other shards.
-            let shard_obs = obs.fork();
-            let shard_config = config.for_shard(spec.index);
-            let mut attacks: Vec<CpaAttack> = (0..setup.single_bit_slots)
-                .map(|_| CpaAttack::new(setup.model, setup.points))
-                .collect();
-            let mut snapshots: Vec<(u64, Vec<CpaAttack>)> = Vec::new();
-            let mut point_buf = vec![0.0f64; setup.points];
-            let fabric = {
-                let _span = shard_obs.span("cpa.shard");
-                let mut fabric = MultiTenantFabric::new(&shard_config)?;
-                for t in 1..=spec.traces {
-                    let pt = fabric.random_plaintext();
-                    let rec = fabric.encrypt_windowed(pt, setup.window.clone(), &setup.endpoints);
-                    absorb_record(
-                        base.source,
-                        &setup,
-                        &rec,
-                        &mut attacks,
-                        &mut point_buf,
-                        &shard_obs,
-                    );
-                    // A progress checkpoint is a *global* trace count;
-                    // the shard holding it snapshots its local state
-                    // there, and the merge below completes the prefix.
-                    let global = spec.start + t;
-                    if global % checkpoint_every == 0 || global == plan.total {
-                        snapshots.push((global, attacks.clone()));
-                    }
-                }
-                fabric
-            };
-            if shard_obs.enabled() {
-                let t = fabric.pdn_telemetry();
-                shard_obs.gauge("pdn.v_min", t.v_min);
-                shard_obs.gauge("pdn.v_max", t.v_max);
-                shard_obs.gauge("pdn.settled_streak", t.settled_streak as f64);
-                if let Some(d) = fabric.defense_telemetry() {
-                    shard_obs.gauge("defense.injected_max_a", d.injected_max_a);
-                    shard_obs.gauge("defense.injected_mean_a", d.injected_mean_a());
-                    shard_obs.gauge("defense.detector_max_score", d.max_score);
-                    shard_obs.add("defense.windows", d.windows);
-                    shard_obs.add("defense.alarm_windows", d.alarm_windows);
-                    shard_obs.add("defense.alarm_events", d.alarm_events);
-                    shard_obs.add("defense.jitter_cycles", d.jitter_cycles);
-                }
+
+    // The pilot is shared: one run on the base config decides endpoint
+    // selection and post-processing for every shard. When the source
+    // doesn't depend on pilot statistics, the shards start from the
+    // config-derived geometry right away and the pilot runs
+    // concurrently as one more task on the pool — it no longer
+    // serializes in front of the shards. Both arms make identical
+    // capture decisions, so the result is the same either way.
+    let (setup, partials): (CampaignSetup, Vec<Result<ShardPartial, FabricError>>) =
+        if pilot_independent(base.source) {
+            enum Out {
+                Pilot(Box<CampaignSetup>, MetricsFrame),
+                Shard(ShardPartial),
             }
-            Ok(ShardPartial {
-                snapshots,
-                attacks,
-                frame: shard_obs.snapshot(),
-            })
-        });
+            let geometry = geometry_setup(base, &config)?;
+            let tasks: Vec<Option<&ShardSpec>> = std::iter::once(None)
+                .chain(shards.iter().map(Some))
+                .collect();
+            let outs: Vec<Result<Out, FabricError>> =
+                slm_par::par_map(exp.workers, &tasks, |task| match task {
+                    None => {
+                        let pilot_obs = obs.fork();
+                        let (_pilot_fabric, full) = {
+                            let _pilot_span = pilot_obs.span("cpa.pilot");
+                            pilot_setup(base, &config)?
+                        };
+                        Ok(Out::Pilot(Box::new(full), pilot_obs.snapshot()))
+                    }
+                    Some(spec) => capture_shard(
+                        base,
+                        &geometry,
+                        &config,
+                        spec,
+                        checkpoint_every,
+                        plan.total,
+                        obs,
+                    )
+                    .map(Out::Shard),
+                });
+            let mut outs = outs.into_iter();
+            let (full_setup, pilot_frame) = match outs.next().expect("task 0 is the pilot")? {
+                Out::Pilot(setup, frame) => (*setup, frame),
+                Out::Shard(_) => unreachable!("task 0 is the pilot"),
+            };
+            // Pilot metrics fold before shard metrics, matching the
+            // serial-pilot arm's recording order.
+            obs.absorb(&pilot_frame);
+            let partials = outs
+                .map(|o| {
+                    o.map(|o| match o {
+                        Out::Shard(p) => p,
+                        Out::Pilot(..) => unreachable!("only task 0 is the pilot"),
+                    })
+                })
+                .collect();
+            (full_setup, partials)
+        } else {
+            let (_pilot_fabric, setup) = {
+                let _pilot_span = obs.span("cpa.pilot");
+                pilot_setup(base, &config)?
+            };
+            let partials = slm_par::par_map(exp.workers, &shards, |spec| {
+                capture_shard(
+                    base,
+                    &setup,
+                    &config,
+                    spec,
+                    checkpoint_every,
+                    plan.total,
+                    obs,
+                )
+            });
+            (setup, partials)
+        };
 
     // Fold shards in index order. When shard i holds a checkpoint at
     // global trace T, the campaign state at T is (all shards < i,
@@ -218,6 +328,7 @@ fn run_cpa_parallel_inner(
         let partial = partial?;
         obs.absorb(&partial.frame);
         for (global, snapshot) in &partial.snapshots {
+            let _eval_span = obs.span("cpa.eval");
             for (slot, snap) in snapshot.iter().enumerate() {
                 let mut at_checkpoint = merged[slot].clone();
                 at_checkpoint.merge(snap);
@@ -346,9 +457,15 @@ mod tests {
             seed: 1,
         };
         let exp = ParallelCpa::new(base).with_workers(2);
-        assert_eq!(exp.shard_traces, 62);
+        // div_ceil: 1000 traces split 16 ways is 63-trace shards, not
+        // the 62 floor division gave (which grew a degenerate 17th
+        // shard of 8 traces).
+        assert_eq!(exp.shard_traces, 63);
         let plan = exp.plan();
         assert_eq!(plan.total, 1000);
-        assert_eq!(plan.shards().iter().map(|s| s.traces).sum::<u64>(), 1000);
+        let shards = plan.shards();
+        assert_eq!(shards.len(), 16);
+        assert_eq!(shards.iter().map(|s| s.traces).sum::<u64>(), 1000);
+        assert!(shards.iter().all(|s| s.traces > 0), "no empty shards");
     }
 }

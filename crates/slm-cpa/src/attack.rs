@@ -140,6 +140,94 @@ impl CpaAttack {
         self.traces += 1;
     }
 
+    /// Absorbs a staged batch of traces, bit-identically to absorbing
+    /// them one at a time in batch order.
+    ///
+    /// The batched layout turns the per-trace scattered update into two
+    /// dense passes: one trace-major sweep for the sums of squares, and
+    /// one bin-grouped sweep for the per-bin point sums (a counting
+    /// sort keyed on the attacked ciphertext byte). Each accumulator
+    /// cell is only ever touched by one group, and within a group the
+    /// traces keep their batch order — so every cell sees the exact
+    /// f64 addition sequence of the sequential path, and the result is
+    /// bitwise equal (pinned by the `batch_add_matches_sequential`
+    /// property test). The dense inner loops run over contiguous
+    /// structure-of-arrays rows, which is what lets them autovectorize.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::PointCountMismatch`] when the batch's point count
+    /// differs from the attack's; the accumulator is unchanged.
+    pub fn add_batch(&mut self, batch: &TraceBatch) -> Result<(), CpaError> {
+        if batch.points != self.points {
+            return Err(CpaError::PointCountMismatch {
+                expected: self.points,
+                got: batch.points,
+            });
+        }
+        let k = batch.len();
+        // Pass 1: sums of squares, trace-major. Per point-cell the
+        // addition order is batch order — same as sequential.
+        for t in 0..k {
+            let row = batch.samples_of(t);
+            for (q, &x) in self.sum_sq.iter_mut().zip(row) {
+                *q += x * x;
+            }
+        }
+        // Pass 2: counting-sort trace indices by bin (stable: batch
+        // order within a bin), then accumulate each bin's row densely.
+        let mut count = [0u32; 256];
+        for ct in &batch.cts {
+            count[ct[self.model.ct_byte] as usize] += 1;
+        }
+        let mut start = [0u32; 256];
+        let mut acc = 0u32;
+        for (s, &c) in start.iter_mut().zip(&count) {
+            *s = acc;
+            acc += c;
+        }
+        let mut order = vec![0u32; k];
+        let mut cursor = start;
+        for (t, ct) in batch.cts.iter().enumerate() {
+            let c = ct[self.model.ct_byte] as usize;
+            order[cursor[c] as usize] = t as u32;
+            cursor[c] += 1;
+        }
+        for c in 0..256usize {
+            if count[c] == 0 {
+                continue;
+            }
+            self.bin_count[c] += u64::from(count[c]);
+            let row = &mut self.bin_sum[c * self.points..(c + 1) * self.points];
+            let lo = start[c] as usize;
+            let hi = lo + count[c] as usize;
+            for &t in &order[lo..hi] {
+                for (r, &x) in row.iter_mut().zip(batch.samples_of(t as usize)) {
+                    *r += x;
+                }
+            }
+        }
+        self.traces += k as u64;
+        Ok(())
+    }
+
+    /// [`CpaAttack::add_batch`] with observability: counts the absorbed
+    /// traces under `cpa.accumulator_traces`, matching what the
+    /// per-trace recorded path would have counted.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::PointCountMismatch`] as for [`CpaAttack::add_batch`].
+    pub fn add_batch_recorded(
+        &mut self,
+        batch: &TraceBatch,
+        obs: &slm_obs::Obs,
+    ) -> Result<(), CpaError> {
+        self.add_batch(batch)?;
+        obs.add("cpa.accumulator_traces", batch.len() as u64);
+        Ok(())
+    }
+
     /// Folds another accumulator into this one, as if its traces had
     /// been absorbed here.
     ///
@@ -229,10 +317,17 @@ impl CpaAttack {
     /// Correlation rows for a contiguous range of key candidates. One
     /// scratch buffer serves the whole range, and the bin→hypothesis
     /// mapping comes from the model's 256-entry lookup table instead
-    /// of a per-bin S-box evaluation.
+    /// of a per-bin S-box evaluation. The per-point trace-variance
+    /// factor `√(n·Σx² − (Σx)²)` does not depend on the candidate, so
+    /// it is computed once for the whole range — the same f64 values
+    /// every candidate's inner loop used to recompute, hence
+    /// bit-identical output.
     fn correlations_for(&self, candidates: std::ops::Range<usize>) -> Vec<Vec<f64>> {
         let n = self.traces as f64;
         let total_sum = self.total_sum();
+        let denom_x: Vec<f64> = (0..self.points)
+            .map(|p| (n * self.sum_sq[p] - total_sum[p] * total_sum[p]).sqrt())
+            .collect();
         let hyp = self.model.hypothesis_table();
         let mut s1 = vec![0.0; self.points];
         let mut out = Vec::with_capacity(candidates.len());
@@ -253,11 +348,10 @@ impl CpaAttack {
                 }
             }
             let n1f = n1 as f64;
+            let denom_h = (n1f * (n - n1f)).sqrt();
             let mut row = Vec::with_capacity(self.points);
             for p in 0..self.points {
-                let denom_h = (n1f * (n - n1f)).sqrt();
-                let denom_x = (n * self.sum_sq[p] - total_sum[p] * total_sum[p]).sqrt();
-                let denom = denom_h * denom_x;
+                let denom = denom_h * denom_x[p];
                 row.push(if denom > 0.0 {
                     (n * s1[p] - n1f * total_sum[p]) / denom
                 } else {
@@ -388,6 +482,79 @@ impl CpaAttack {
             sum_sq: cp.sum_sq,
             traces: cp.traces,
         })
+    }
+}
+
+/// A structure-of-arrays staging buffer of captured traces awaiting
+/// batched absorption into one or more [`CpaAttack`] accumulators.
+///
+/// Sample values are stored flat (`len × points`, row-major), so a
+/// batch absorb streams contiguous memory instead of chasing one
+/// heap-allocated sample vector per trace. One staged batch can feed
+/// all 16 byte-attacks of a `MultiByteCpa` — each derives its own bin
+/// grouping from the stored ciphertexts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBatch {
+    points: usize,
+    cts: Vec<[u8; 16]>,
+    samples: Vec<f64>,
+}
+
+impl TraceBatch {
+    /// An empty batch for traces of `points` samples each.
+    pub fn new(points: usize) -> Self {
+        Self::with_capacity(points, 0)
+    }
+
+    /// An empty batch with room for `traces` traces.
+    pub fn with_capacity(points: usize, traces: usize) -> Self {
+        TraceBatch {
+            points,
+            cts: Vec::with_capacity(traces),
+            samples: Vec::with_capacity(traces * points),
+        }
+    }
+
+    /// Stages one trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` differs from the batch's point count.
+    pub fn push(&mut self, ct: [u8; 16], samples: &[f64]) {
+        assert_eq!(samples.len(), self.points, "trace point count mismatch");
+        self.cts.push(ct);
+        self.samples.extend_from_slice(samples);
+    }
+
+    /// Number of staged traces.
+    pub fn len(&self) -> usize {
+        self.cts.len()
+    }
+
+    /// Whether the batch holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.cts.is_empty()
+    }
+
+    /// Points per trace.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// Ciphertext of staged trace `t`.
+    pub fn ct_of(&self, t: usize) -> &[u8; 16] {
+        &self.cts[t]
+    }
+
+    /// Sample row of staged trace `t`.
+    pub fn samples_of(&self, t: usize) -> &[f64] {
+        &self.samples[t * self.points..(t + 1) * self.points]
+    }
+
+    /// Empties the batch, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.cts.clear();
+        self.samples.clear();
     }
 }
 
@@ -646,6 +813,59 @@ mod tests {
         }
         assert_eq!(merged, whole);
         assert_eq!(merged.correlations(), whole.correlations());
+    }
+
+    #[test]
+    fn batch_add_matches_sequential_bitwise() {
+        // Order preservation makes the batched path exact for ANY f64
+        // samples, not just dyadic ones: use full-precision noise.
+        let key = [0x5au8; 16];
+        let model = LastRoundModel::paper_target();
+        let mut rng = Rng64::new(31);
+        let mut serial = CpaAttack::new(model, 3);
+        let mut batched = CpaAttack::new(model, 3);
+        let mut batch = TraceBatch::with_capacity(3, 64);
+        for round in 0..5 {
+            batch.clear();
+            for _ in 0..(13 + round * 7) {
+                let mut pt = [0u8; 16];
+                rng.fill_bytes(&mut pt);
+                let ct = soft::encrypt(&key, &pt);
+                let x = [rng.normal(), rng.normal(), rng.normal()];
+                serial.add_trace(&ct, &x);
+                batch.push(ct, &x);
+            }
+            batched.add_batch(&batch).unwrap();
+            assert_eq!(batched, serial, "diverged after round {round}");
+        }
+        assert_eq!(batched.correlations(), serial.correlations());
+    }
+
+    #[test]
+    fn batch_rejects_wrong_point_count_and_empty_is_noop() {
+        let mut attack = CpaAttack::new(LastRoundModel::paper_target(), 2);
+        let bad = TraceBatch::new(3);
+        assert!(matches!(
+            attack.add_batch(&bad),
+            Err(crate::CpaError::PointCountMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+        let before = attack.clone();
+        attack.add_batch(&TraceBatch::new(2)).unwrap();
+        assert_eq!(attack, before);
+        let obs = slm_obs::Obs::memory();
+        let mut batch = TraceBatch::new(2);
+        batch.push([7; 16], &[1.0, 2.0]);
+        attack.add_batch_recorded(&batch, &obs).unwrap();
+        assert_eq!(obs.snapshot().counter("cpa.accumulator_traces"), 1);
+        assert_eq!(attack.traces(), 1);
+        assert_eq!(batch.ct_of(0), &[7; 16]);
+        assert_eq!(batch.samples_of(0), &[1.0, 2.0]);
+        assert!(!batch.is_empty());
+        batch.clear();
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod postprocess;
 pub mod store;
 mod tvla;
 
-pub use attack::{leader_margin, CpaAttack, CpaCheckpoint, LastRoundModel};
+pub use attack::{leader_margin, CpaAttack, CpaCheckpoint, LastRoundModel, TraceBatch};
 pub use bits::{common_mode_polarity, BitActivity, BitCensus};
 pub use error::CpaError;
 pub use mtd::{measurements_to_disclosure, rank_progress, ProgressPoint};

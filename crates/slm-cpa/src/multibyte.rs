@@ -6,7 +6,7 @@
 //! different ciphertext byte) and then inverts the key schedule to
 //! obtain the master key. This module completes that chain.
 
-use crate::attack::{CpaAttack, LastRoundModel};
+use crate::attack::{CpaAttack, LastRoundModel, TraceBatch};
 use crate::error::CpaError;
 use serde::{Deserialize, Serialize};
 use slm_aes::soft;
@@ -62,6 +62,29 @@ impl MultiByteCpa {
             });
         }
         self.add_trace(ct, samples);
+        Ok(())
+    }
+
+    /// Absorbs a staged batch into all sixteen attacks, bit-identically
+    /// to feeding the batch's traces one at a time in batch order (see
+    /// [`CpaAttack::add_batch`] for the order-preservation argument).
+    /// Each byte-attack derives its own bin grouping from the batch's
+    /// stored ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::PointCountMismatch`] when the batch's point count is
+    /// wrong; no attack absorbs any trace.
+    pub fn add_batch(&mut self, batch: &TraceBatch) -> Result<(), CpaError> {
+        if batch.points() != self.attacks[0].points() {
+            return Err(CpaError::PointCountMismatch {
+                expected: self.attacks[0].points(),
+                got: batch.points(),
+            });
+        }
+        for attack in &mut self.attacks {
+            attack.add_batch(batch)?;
+        }
         Ok(())
     }
 

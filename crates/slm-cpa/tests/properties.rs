@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use slm_aes::soft;
 use slm_cpa::{
     measurements_to_disclosure, rank_progress, CpaAttack, LastRoundModel, MultiByteCpa,
-    ProgressPoint, WelchTTest,
+    ProgressPoint, TraceBatch, WelchTTest,
 };
 use slm_pdn::noise::Rng64;
 
@@ -243,6 +243,46 @@ proptest! {
         let mut with_empty = a.clone();
         with_empty.merge(&CpaAttack::new(model, 2));
         prop_assert_eq!(&with_empty, &a);
+    }
+
+    /// The blocked SoA batch path absorbs traces bit-identically to the
+    /// scalar one-at-a-time path. Samples are dyadic rationals
+    /// (multiples of 1/8, bounded), so every accumulator sum is exact
+    /// in f64 and the comparison is `==` on the full accumulator state,
+    /// matching PR 3's merge-algebra tests. Batch boundaries are drawn
+    /// at arbitrary positions to exercise partial batches, singleton
+    /// batches and empty flushes.
+    #[test]
+    fn soa_batch_matches_scalar_absorption(seed in any::<u64>(),
+                                           total in 1usize..400,
+                                           batch_size in 1usize..70,
+                                           points in 1usize..4) {
+        let model = LastRoundModel::paper_target();
+        let mut scalar = CpaAttack::new(model, points);
+        let mut batched = CpaAttack::new(model, points);
+        let mut multi_scalar = MultiByteCpa::new(0, points);
+        let mut multi_batched = MultiByteCpa::new(0, points);
+        let mut rng = Rng64::new(seed);
+        let mut batch = TraceBatch::with_capacity(points, batch_size);
+        for t in 0..total {
+            let mut ct = [0u8; 16];
+            rng.fill_bytes(&mut ct);
+            let x: Vec<f64> = (0..points)
+                .map(|_| (rng.next_u64() % 64) as f64 / 8.0)
+                .collect();
+            scalar.add_trace(&ct, &x);
+            multi_scalar.add_trace(&ct, &x);
+            batch.push(ct, &x);
+            if batch.len() == batch_size || t + 1 == total {
+                batched.add_batch(&batch).unwrap();
+                multi_batched.add_batch(&batch).unwrap();
+                batch.clear();
+            }
+        }
+        prop_assert_eq!(&batched, &scalar);
+        prop_assert_eq!(batched.correlations(), scalar.correlations());
+        prop_assert_eq!(batched.traces(), total as u64);
+        prop_assert_eq!(&multi_batched, &multi_scalar);
     }
 
     /// The sixteen-byte accumulator merges exactly like its per-byte

@@ -60,8 +60,8 @@ pub use remote::{
 // Shard planning vocabulary, re-exported so campaign callers need not
 // depend on slm-par directly.
 pub use scenario::{
-    ActivityTrace, AesActivity, CaptureRecord, FabricConfig, FenceConfig, MultiTenantFabric,
-    RoSchedule,
+    ActivityTrace, AesActivity, CaptureRecord, FabricConfig, FabricPrototype, FenceConfig,
+    MultiTenantFabric, RoSchedule,
 };
 // Countermeasure vocabulary, re-exported so defended campaigns can be
 // configured without depending on slm-defense directly.

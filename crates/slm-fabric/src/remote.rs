@@ -149,103 +149,254 @@ impl RemoteSession {
         })
     }
 
-    /// The device firmware loop body: read every complete plaintext
-    /// frame, run the encryption with capture, stage the result through
-    /// BRAM, send the response frame echoing the request's sequence
-    /// number. Requests that arrive corrupt never parse as frames, and
-    /// frames with a bad geometry are dropped — the device stays up and
-    /// the host's retry covers the loss.
+    /// Largest batch [`RemoteSession::host_encrypt_batch`] accepts:
+    /// bounded by the batch-count byte (255) and by the batched
+    /// response frame fitting in [`UartFrame::MAX_PAYLOAD`].
+    pub fn max_batch(&self) -> usize {
+        let words_per_sample = 1 + self.endpoints.len().div_ceil(64);
+        let per_record = 18 + self.window.len() * words_per_sample * 8;
+        let by_response = (UartFrame::MAX_PAYLOAD - 1) / per_record;
+        let by_request = (UartFrame::MAX_PAYLOAD - 1) / 16;
+        by_response.min(by_request).clamp(1, 255)
+    }
+
+    /// Batched round trip: send `n` plaintexts in one request frame
+    /// (`n u8 | pt × n` — unambiguous against the 16-byte single-trace
+    /// request, since `1 + 16n` is never 16) and receive all `n`
+    /// captures in one response frame. The device encrypts the batch in
+    /// request order, so the records are bit-identical to `n`
+    /// single-trace round trips — what changes is the wire cost: one
+    /// header/CRC per direction instead of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch is empty or exceeds
+    /// [`RemoteSession::max_batch`] (a host-side programming error, not
+    /// a wire condition).
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`TransportError`]s as
+    /// [`RemoteSession::host_encrypt`]; a fault anywhere in either
+    /// frame loses the whole batch, which the caller retries as a unit.
+    pub fn host_encrypt_batch(
+        &mut self,
+        plaintexts: &[[u8; 16]],
+    ) -> Result<Vec<CaptureRecord>, FabricError> {
+        assert!(
+            !plaintexts.is_empty() && plaintexts.len() <= self.max_batch(),
+            "batch size {} outside 1..={}",
+            plaintexts.len(),
+            self.max_batch()
+        );
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let mut payload = Vec::with_capacity(1 + 16 * plaintexts.len());
+        payload.push(plaintexts.len() as u8);
+        for pt in plaintexts {
+            payload.extend_from_slice(pt);
+        }
+        self.link.host_send(&UartFrame::new(seq, payload));
+        self.device_service();
+
+        let mut stale: Option<u8> = None;
+        while let Some(frame) = self.link.host_recv() {
+            if frame.seq == seq {
+                return Self::decode_batch_response(&frame, plaintexts.len(), self.endpoints.len());
+            }
+            stale = Some(frame.seq);
+        }
+        Err(match stale {
+            Some(got) => TransportError::SeqMismatch { expected: seq, got }.into(),
+            None => TransportError::NoResponse.into(),
+        })
+    }
+
+    /// The device firmware loop body: read every complete request
+    /// frame, run the encryption(s) with capture, stage each result
+    /// through BRAM, send the response frame echoing the request's
+    /// sequence number. A 16-byte payload is a single-trace request; a
+    /// `1 + 16n` byte payload is a batch of `n`. Requests that arrive
+    /// corrupt never parse as frames, and frames with a bad geometry
+    /// are dropped — the device stays up and the host's retry covers
+    /// the loss.
     fn device_service(&mut self) {
         while let Some(frame) = self.link.fpga_recv() {
-            if frame.payload.len() != 16 {
-                continue;
+            let p = &frame.payload;
+            if p.len() == 16 {
+                let mut pt = [0u8; 16];
+                pt.copy_from_slice(p);
+                if let Some(body) = self.encode_record(pt) {
+                    self.link.fpga_send(&UartFrame::new(frame.seq, body));
+                }
+            } else if p.len() >= 17 && p.len() == 1 + 16 * usize::from(p[0]) {
+                let n = usize::from(p[0]);
+                // Batched response: n u8 | per-record bodies, encrypted
+                // in request order so the captures are bit-identical to
+                // n single requests.
+                let mut body = Vec::with_capacity(1 + n * 18);
+                body.push(n as u8);
+                let mut ok = true;
+                for i in 0..n {
+                    let mut pt = [0u8; 16];
+                    pt.copy_from_slice(&frame.payload[1 + 16 * i..17 + 16 * i]);
+                    match self.encode_record(pt) {
+                        Some(rec) => body.extend_from_slice(&rec),
+                        None => {
+                            // BRAM overflow mid-batch: drop the whole
+                            // request; the host retries the batch.
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    self.link.fpga_send(&UartFrame::new(frame.seq, body));
+                }
             }
-            let mut pt = [0u8; 16];
-            pt.copy_from_slice(&frame.payload);
-            let rec = self
-                .fabric
-                .encrypt_windowed(pt, self.window.clone(), &self.endpoints);
-
-            // Stage through BRAM exactly as the on-chip design would: the
-            // capture is serialized to 64-bit words, written, then drained
-            // for transmission.
-            let mut words: Vec<u64> = Vec::new();
-            for (s, &tdc) in rec.benign.iter().zip(&rec.tdc) {
-                words.push(u64::from(tdc));
-                words.extend_from_slice(&s.bits);
-            }
-            if self.bram.push(&words).is_err() {
-                // Capture overflowed the BRAM: drop this request; the
-                // host will retry and the staging buffer starts clean.
-                let _ = self.bram.drain();
-                continue;
-            }
-            let staged = self.bram.drain();
-
-            // Response payload: ct | n_samples u8 | words_per_sample u8 | staged words LE
-            let mut payload = Vec::with_capacity(16 + 2 + staged.len() * 8);
-            payload.extend_from_slice(&rec.ciphertext);
-            payload.push(rec.benign.len() as u8);
-            let words_per_sample = 1 + self.endpoints.len().div_ceil(64);
-            payload.push(words_per_sample as u8);
-            for w in staged {
-                payload.extend_from_slice(&w.to_le_bytes());
-            }
-            self.link.fpga_send(&UartFrame::new(frame.seq, payload));
         }
+    }
+
+    /// One capture, staged through BRAM and serialized as a response
+    /// body: `ct | n_samples u8 | words_per_sample u8 | words LE`.
+    /// `None` when the capture overflows the BRAM (the request is
+    /// dropped and the staging buffer left clean for the retry).
+    fn encode_record(&mut self, pt: [u8; 16]) -> Option<Vec<u8>> {
+        let rec = self
+            .fabric
+            .encrypt_windowed(pt, self.window.clone(), &self.endpoints);
+
+        // Stage through BRAM exactly as the on-chip design would: the
+        // capture is serialized to 64-bit words, written, then drained
+        // for transmission.
+        let mut words: Vec<u64> = Vec::new();
+        for (s, &tdc) in rec.benign.iter().zip(&rec.tdc) {
+            words.push(u64::from(tdc));
+            words.extend_from_slice(&s.bits);
+        }
+        if self.bram.push(&words).is_err() {
+            let _ = self.bram.drain();
+            return None;
+        }
+        let staged = self.bram.drain();
+
+        let mut body = Vec::with_capacity(16 + 2 + staged.len() * 8);
+        body.extend_from_slice(&rec.ciphertext);
+        body.push(rec.benign.len() as u8);
+        let words_per_sample = 1 + self.endpoints.len().div_ceil(64);
+        body.push(words_per_sample as u8);
+        for w in staged {
+            body.extend_from_slice(&w.to_le_bytes());
+        }
+        Some(body)
     }
 
     fn decode_response(
         frame: &UartFrame,
         endpoint_count: usize,
     ) -> Result<CaptureRecord, FabricError> {
+        let p = &frame.payload;
+        let (rec, consumed) = Self::decode_record_at(p, 0, endpoint_count)?;
+        if consumed != p.len() {
+            return Err(TransportError::MalformedResponse {
+                detail: format!("response length {} != expected {consumed}", p.len()),
+            }
+            .into());
+        }
+        Ok(rec)
+    }
+
+    fn decode_batch_response(
+        frame: &UartFrame,
+        expected_n: usize,
+        endpoint_count: usize,
+    ) -> Result<Vec<CaptureRecord>, FabricError> {
         let malformed =
             |detail: String| -> FabricError { TransportError::MalformedResponse { detail }.into() };
         let p = &frame.payload;
-        if p.len() < 18 {
+        if p.is_empty() {
+            return Err(malformed("empty batch response".into()));
+        }
+        let n = usize::from(p[0]);
+        if n != expected_n {
+            return Err(malformed(format!(
+                "batch response carries {n} records, expected {expected_n}"
+            )));
+        }
+        let mut records = Vec::with_capacity(n);
+        let mut off = 1;
+        for _ in 0..n {
+            let (rec, next) = Self::decode_record_at(p, off, endpoint_count)?;
+            records.push(rec);
+            off = next;
+        }
+        if off != p.len() {
+            return Err(malformed(format!(
+                "batch response has {} trailing bytes",
+                p.len() - off
+            )));
+        }
+        Ok(records)
+    }
+
+    /// Decodes one `ct | n_samples | words_per_sample | words` record
+    /// body starting at `off`; returns the record and the offset just
+    /// past it.
+    fn decode_record_at(
+        p: &[u8],
+        off: usize,
+        endpoint_count: usize,
+    ) -> Result<(CaptureRecord, usize), FabricError> {
+        let malformed =
+            |detail: String| -> FabricError { TransportError::MalformedResponse { detail }.into() };
+        if p.len() < off + 18 {
             return Err(malformed(format!(
                 "short response frame ({} bytes)",
                 p.len()
             )));
         }
         let mut ciphertext = [0u8; 16];
-        ciphertext.copy_from_slice(&p[..16]);
-        let n_samples = usize::from(p[16]);
-        let words_per_sample = usize::from(p[17]);
+        ciphertext.copy_from_slice(&p[off..off + 16]);
+        let n_samples = usize::from(p[off + 16]);
+        let words_per_sample = usize::from(p[off + 17]);
         if words_per_sample == 0 {
             return Err(malformed("zero words per sample".into()));
         }
-        let expected = 18 + n_samples * words_per_sample * 8;
-        if p.len() != expected {
+        let need = n_samples * words_per_sample * 8;
+        if p.len() < off + 18 + need {
             return Err(malformed(format!(
-                "response length {} != expected {expected}",
-                p.len()
+                "response length {} != expected {}",
+                p.len(),
+                off + 18 + need
             )));
         }
         let mut benign = Vec::with_capacity(n_samples);
         let mut tdc = Vec::with_capacity(n_samples);
-        let mut off = 18;
+        let mut pos = off + 18;
         for _ in 0..n_samples {
-            let w = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+            let w = u64::from_le_bytes(p[pos..pos + 8].try_into().expect("8 bytes"));
             tdc.push(w as u32);
-            off += 8;
+            pos += 8;
             let mut bits = Vec::with_capacity(words_per_sample - 1);
             for _ in 0..words_per_sample - 1 {
                 bits.push(u64::from_le_bytes(
-                    p[off..off + 8].try_into().expect("8 bytes"),
+                    p[pos..pos + 8].try_into().expect("8 bytes"),
                 ));
-                off += 8;
+                pos += 8;
             }
             benign.push(SensorSample {
                 bits,
                 len: endpoint_count,
             });
         }
-        Ok(CaptureRecord {
-            ciphertext,
-            benign,
-            tdc,
-        })
+        Ok((
+            CaptureRecord {
+                ciphertext,
+                benign,
+                tdc,
+            },
+            pos,
+        ))
     }
 }
 
@@ -405,11 +556,127 @@ impl CampaignDriver {
         result
     }
 
+    /// Captures a batch of validated traces in one amortized round
+    /// trip, with the same retry/validate/quarantine semantics as
+    /// [`CampaignDriver::capture`]: a transport fault retries the whole
+    /// batch (one wire unit), a record that arrives intact but fails
+    /// validation is quarantined and recaptured individually through
+    /// the single-trace retry loop. On success the returned records are
+    /// in plaintext order, one per request.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::RetriesExhausted`] when the batch (or an
+    /// individual recapture) runs out of attempts; non-transport errors
+    /// propagate immediately.
+    pub fn capture_batch(
+        &mut self,
+        plaintexts: &[[u8; 16]],
+    ) -> Result<Vec<CaptureRecord>, FabricError> {
+        if plaintexts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _span = self.obs.span("campaign.capture_batch");
+        let wire_base = self.obs.enabled().then(|| self.wire_counters());
+        let result = self.capture_batch_inner(plaintexts);
+        if let Some(base) = wire_base {
+            let now = self.wire_counters();
+            self.obs
+                .add("uart.resyncs", now.resyncs.saturating_sub(base.resyncs));
+            self.obs.add(
+                "uart.bytes_discarded",
+                now.bytes_discarded.saturating_sub(base.bytes_discarded),
+            );
+            self.obs
+                .add("faults.injected", now.faults.saturating_sub(base.faults));
+            let t = self.session.fabric().pdn_telemetry();
+            self.obs.gauge("pdn.v_min", t.v_min);
+            self.obs.gauge("pdn.v_max", t.v_max);
+            self.obs
+                .gauge("pdn.settled_streak", t.settled_streak as f64);
+        }
+        result
+    }
+
+    fn capture_batch_inner(
+        &mut self,
+        plaintexts: &[[u8; 16]],
+    ) -> Result<Vec<CaptureRecord>, FabricError> {
+        let base_index = self.stats.requested;
+        self.stats.requested += plaintexts.len() as u64;
+        self.obs.add("campaign.requested", plaintexts.len() as u64);
+        let mut backoff = self.policy.base_backoff_s;
+        let mut last: TransportError = TransportError::NoResponse;
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                self.session.flush_wire();
+                self.session.charge_idle(backoff);
+                self.stats.backoff_s += backoff;
+                self.obs.incr("campaign.retries");
+                self.obs.observe("campaign.backoff_s", backoff);
+                backoff = (backoff * self.policy.backoff_factor).min(self.policy.max_backoff_s);
+                self.stats.retries += 1;
+            }
+            let attempt_result = {
+                let _attempt_span = self.obs.span("fabric.host_encrypt");
+                self.obs.incr("fabric.requests");
+                self.session.host_encrypt_batch(plaintexts)
+            };
+            match attempt_result {
+                Ok(recs) => {
+                    let mut out = Vec::with_capacity(recs.len());
+                    for (i, rec) in recs.into_iter().enumerate() {
+                        match self.validate(&rec, &plaintexts[i]) {
+                            Ok(()) => {
+                                self.stats.delivered += 1;
+                                self.obs.incr("campaign.delivered");
+                                out.push(rec);
+                            }
+                            Err(error) => {
+                                self.quarantine.push(QuarantinedTrace {
+                                    trace_index: base_index + i as u64,
+                                    attempt,
+                                    error: error.clone(),
+                                });
+                                self.stats.quarantined += 1;
+                                self.obs.incr("campaign.quarantined");
+                                // Only the bad record is recaptured —
+                                // its batch-mates are already valid.
+                                out.push(
+                                    self.capture_retry_loop(plaintexts[i], base_index + i as u64)?,
+                                );
+                            }
+                        }
+                    }
+                    return Ok(out);
+                }
+                Err(FabricError::Transport(t)) if t.retryable() => last = t,
+                Err(fatal) => return Err(fatal),
+            }
+        }
+        Err(TransportError::RetriesExhausted {
+            attempts: self.policy.max_attempts,
+            last: Box::new(last),
+        }
+        .into())
+    }
+
     /// The retry/validate/quarantine loop behind [`CampaignDriver::capture`].
     fn capture_inner(&mut self, plaintext: [u8; 16]) -> Result<CaptureRecord, FabricError> {
         let trace_index = self.stats.requested;
         self.stats.requested += 1;
         self.obs.incr("campaign.requested");
+        self.capture_retry_loop(plaintext, trace_index)
+    }
+
+    /// The per-trace retry loop shared by the single and batch-fallback
+    /// paths; `trace_index` is the campaign-global index recorded on
+    /// quarantined records. The caller has already counted the request.
+    fn capture_retry_loop(
+        &mut self,
+        plaintext: [u8; 16],
+        trace_index: u64,
+    ) -> Result<CaptureRecord, FabricError> {
         let mut backoff = self.policy.base_backoff_s;
         let mut last: TransportError = TransportError::NoResponse;
         for attempt in 1..=self.policy.max_attempts {
@@ -497,6 +764,12 @@ impl CampaignDriver {
     /// The wrapped session.
     pub fn session(&self) -> &RemoteSession {
         &self.session
+    }
+
+    /// Largest batch [`CampaignDriver::capture_batch`] accepts (see
+    /// [`RemoteSession::max_batch`]).
+    pub fn max_batch(&self) -> usize {
+        self.session.max_batch()
     }
 
     /// Campaign accounting so far.
@@ -723,6 +996,98 @@ mod tests {
             assert_eq!(a.bits, b.bits);
             assert_eq!(a.len, b.len);
         }
+    }
+
+    #[test]
+    fn batched_remote_capture_matches_singles_bitwise() {
+        let endpoints: Vec<usize> = (0..12).collect();
+        let mut singles = session(endpoints.clone());
+        let mut batched = session(endpoints);
+        let pts: Vec<[u8; 16]> = (0..6u8).map(|i| [i.wrapping_mul(47); 16]).collect();
+        let one_by_one: Vec<CaptureRecord> = pts
+            .iter()
+            .map(|&pt| singles.host_encrypt(pt).unwrap())
+            .collect();
+        let in_one_trip = batched.host_encrypt_batch(&pts).unwrap();
+        assert_eq!(in_one_trip.len(), one_by_one.len());
+        for (a, b) in in_one_trip.iter().zip(&one_by_one) {
+            assert_eq!(a.ciphertext, b.ciphertext);
+            assert_eq!(a.tdc, b.tdc);
+            assert_eq!(a.benign.len(), b.benign.len());
+            for (x, y) in a.benign.iter().zip(&b.benign) {
+                assert_eq!(x.bits, y.bits);
+                assert_eq!(x.len, y.len);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_capture_amortizes_wire_time() {
+        let pts: Vec<[u8; 16]> = (0..8u8).map(|i| [i; 16]).collect();
+        let mut singles = session((0..8).collect());
+        for &pt in &pts {
+            let _ = singles.host_encrypt(pt).unwrap();
+        }
+        let mut batched = session((0..8).collect());
+        let _ = batched.host_encrypt_batch(&pts).unwrap();
+        assert!(
+            batched.wire_time_s() < singles.wire_time_s(),
+            "batch {} s must beat {} s of singles",
+            batched.wire_time_s(),
+            singles.wire_time_s()
+        );
+        assert!(batched.max_batch() >= 8);
+    }
+
+    #[test]
+    fn driver_capture_batch_matches_serial_driver() {
+        let pts: Vec<[u8; 16]> = (0..10u8).map(|i| [i.wrapping_mul(13); 16]).collect();
+        let mut serial = CampaignDriver::new(session(vec![]));
+        let singles: Vec<CaptureRecord> =
+            pts.iter().map(|&pt| serial.capture(pt).unwrap()).collect();
+        let mut driver = CampaignDriver::new(session(vec![]));
+        let batch = driver.capture_batch(&pts).unwrap();
+        for (a, b) in batch.iter().zip(&singles) {
+            assert_eq!(a.ciphertext, b.ciphertext);
+            assert_eq!(a.tdc, b.tdc);
+        }
+        let stats = driver.stats();
+        assert_eq!(stats.requested, 10);
+        assert_eq!(stats.delivered, 10);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert!(driver.capture_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn capture_batch_retries_through_a_lossy_wire() {
+        let plan = FaultPlan::new(99).with_stall(0.4);
+        let remote = RemoteSession::with_fault_plan(&config(), vec![], plan).unwrap();
+        let key = remote.fabric().config().aes_key;
+        let mut driver = CampaignDriver::new(remote);
+        let mut delivered = 0usize;
+        for chunk in 0..4u8 {
+            let pts: Vec<[u8; 16]> = (0..5u8).map(|i| [chunk * 5 + i; 16]).collect();
+            match driver.capture_batch(&pts) {
+                Ok(recs) => {
+                    for (rec, pt) in recs.iter().zip(&pts) {
+                        assert_eq!(rec.ciphertext, soft::encrypt(&key, pt));
+                    }
+                    delivered += recs.len();
+                }
+                Err(e) => assert!(
+                    matches!(
+                        e,
+                        FabricError::Transport(TransportError::RetriesExhausted { .. })
+                    ),
+                    "unexpected error {e}"
+                ),
+            }
+        }
+        assert!(delivered >= 10, "only {delivered}/20 delivered");
+        let stats = driver.stats();
+        assert!(stats.retries > 0, "a 40% stall rate must force retries");
+        assert_eq!(stats.delivered as usize, delivered);
     }
 
     #[test]

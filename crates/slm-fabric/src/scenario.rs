@@ -8,7 +8,9 @@ use slm_defense::{DefenseConfig, DefenseRuntime, DefenseTelemetry};
 use slm_pdn::noise::Rng64;
 use slm_pdn::{MultiRegionPdn, PdnConfig};
 use slm_sensors::{BenignSensor, BenignSensorConfig, RoArray, SensorSample, TdcConfig, TdcSensor};
-use slm_timing::{simulate_transition, DelayModel};
+use slm_timing::{simulate_transition, DelayModel, Waveform};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Full configuration of the experimental setup (the paper's Fig. 2).
 #[derive(Debug, Clone)]
@@ -227,6 +229,88 @@ pub struct ActivityTrace {
     pub ro_enabled: Vec<usize>,
 }
 
+/// The expensive, noise-independent slice of a fabric build: the benign
+/// circuit's simulated endpoint waveforms and the activity current
+/// derived from them.
+///
+/// Everything in a prototype is a pure function of
+/// `(benign, delay_model, achieved_critical_ns)` — netlist generation,
+/// delay annotation, and the reset→measure event simulation involve no
+/// noise streams. Sharded campaigns re-seed only noise lanes
+/// ([`FabricConfig::for_shard`]), so the pilot fabric and all shard
+/// fabrics of a campaign share one prototype instead of re-running the
+/// ~12 ms netlist + STA + event-sim build per shard. Profiling showed
+/// that redundant rebuild was ~80% of a 4k-trace campaign's wall clock
+/// and the reason the parallel pipeline didn't scale.
+#[derive(Debug)]
+pub struct FabricPrototype {
+    /// Endpoint (output) waveforms under the reset→measure stimulus.
+    waves: Vec<Waveform>,
+    /// Mean switching current of the benign circuit, amps.
+    benign_activity_current_a: f64,
+}
+
+impl FabricPrototype {
+    /// Builds the prototype from scratch: generates the netlist,
+    /// calibrates delays for the achieved critical path, and event-
+    /// simulates the reset→measure transition once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit generation and timing analysis failures.
+    pub fn build(config: &FabricConfig) -> Result<Self, FabricError> {
+        let built = config.benign.build()?;
+        let ann = config.delay_model.annotate_for_period(
+            &built.netlist,
+            config.achieved_critical_ns,
+            1.0,
+        )?;
+        let waves = simulate_transition(&ann, &built.reset, &built.measure)?;
+        // The benign circuit's own switching draws a roughly constant
+        // current every measure cycle, proportional to its activity.
+        let benign_activity_current_a = 1.0e-6 * waves.total_transitions() as f64;
+        Ok(FabricPrototype {
+            waves: waves.into_output_waves(),
+            benign_activity_current_a,
+        })
+    }
+
+    /// Fetches (or builds and caches) the prototype for a configuration.
+    ///
+    /// The cache key covers every input the prototype depends on; noise
+    /// seeds and electrical parameters are deliberately excluded, which
+    /// is what lets `for_shard` reseeds hit. Build errors are not
+    /// cached. The cache is process-global and bounded: it resets once
+    /// it holds 32 distinct prototypes (campaigns use one or two).
+    pub fn cached(config: &FabricConfig) -> Result<Arc<Self>, FabricError> {
+        static CACHE: OnceLock<Mutex<HashMap<String, Arc<FabricPrototype>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = format!(
+            "{:?}|{:?}|{}",
+            config.benign, config.delay_model, config.achieved_critical_ns
+        );
+        if let Some(hit) = cache.lock().expect("prototype cache poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        // Build outside the lock so concurrent shard workers aren't
+        // serialized behind one builder (worst case: a few redundant
+        // builds on a cold cache, last writer wins — all bit-identical).
+        let proto = Arc::new(Self::build(config)?);
+        let mut map = cache.lock().expect("prototype cache poisoned");
+        if map.len() >= 32 {
+            map.clear();
+        }
+        Ok(Arc::clone(
+            map.entry(key).or_insert_with(|| Arc::clone(&proto)),
+        ))
+    }
+
+    /// Number of endpoint waveforms.
+    pub fn endpoints(&self) -> usize {
+        self.waves.len()
+    }
+}
+
 /// The living fabric: all tenants sharing one PDN, stepped on the
 /// 300 MHz sensor clock (one tick = 3.33 ns; the 100 MHz AES core
 /// advances every 3 ticks; sensors capture every 2nd tick, giving the
@@ -266,21 +350,27 @@ impl MultiTenantFabric {
     /// delays for the synthesis clock, simulates its reset→measure
     /// waveforms once, and wires every tenant to the shared PDN.
     ///
+    /// The expensive circuit work is shared through the process-global
+    /// [`FabricPrototype`] cache, so rebuilding a fabric for another
+    /// noise lane of the same physical setup costs microseconds, not
+    /// milliseconds. The result is bit-identical to an uncached build.
+    ///
     /// # Errors
     ///
     /// Propagates circuit generation and timing analysis failures.
     pub fn new(config: &FabricConfig) -> Result<Self, FabricError> {
-        let built = config.benign.build()?;
-        let ann = config.delay_model.annotate_for_period(
-            &built.netlist,
-            config.achieved_critical_ns,
-            1.0,
-        )?;
-        let waves = simulate_transition(&ann, &built.reset, &built.measure)?;
-        // The benign circuit's own switching draws a roughly constant
-        // current every measure cycle, proportional to its activity.
-        let benign_activity_current_a = 1.0e-6 * waves.total_transitions() as f64;
-        let sensor = BenignSensor::new(waves.into_output_waves(), config.sensor);
+        let proto = FabricPrototype::cached(config)?;
+        Ok(Self::from_prototype(&proto, config))
+    }
+
+    /// Builds a fabric from an already-built prototype, wiring fresh
+    /// noise streams from `config`'s seeds. The caller is responsible
+    /// for the prototype matching `(benign, delay_model,
+    /// achieved_critical_ns)` — [`MultiTenantFabric::new`] does this via
+    /// the cache.
+    pub fn from_prototype(proto: &FabricPrototype, config: &FabricConfig) -> Self {
+        let sensor = BenignSensor::new(proto.waves.clone(), config.sensor);
+        let benign_activity_current_a = proto.benign_activity_current_a;
         // Supply regulation attenuates how much of one region's current
         // transient reaches the other region's rail. Applied only when
         // deployed so an undefended fabric keeps its coupling matrix
@@ -289,7 +379,7 @@ impl MultiTenantFabric {
             Some(ldo) => config.victim_coupling * ldo.residual,
             None => config.victim_coupling,
         };
-        Ok(MultiTenantFabric {
+        MultiTenantFabric {
             aes: Aes32Rtl::new(config.aes_key),
             sensor,
             tdc: TdcSensor::new(config.tdc),
@@ -307,7 +397,7 @@ impl MultiTenantFabric {
             lead_in_cycles: Self::LEAD_IN_CYCLES,
             benign_activity_current_a,
             config: config.clone(),
-        })
+        }
     }
 
     /// The configuration the fabric was built with.
@@ -438,6 +528,26 @@ impl MultiTenantFabric {
         endpoints: &[usize],
     ) -> CaptureRecord {
         self.encrypt_internal(plaintext, Some(window), Some(endpoints))
+    }
+
+    /// Runs a batch of encryptions back to back with windowed capture —
+    /// the amortized path a batched shard round-trip uses.
+    ///
+    /// The fabric's PDN, drift, and RNG streams advance exactly as they
+    /// would over the same plaintexts fed one at a time, so the records
+    /// are bit-identical to `n` consecutive [`Self::encrypt_windowed`]
+    /// calls; what batching buys is one framing/dispatch round-trip per
+    /// batch instead of per trace.
+    pub fn encrypt_windowed_batch(
+        &mut self,
+        plaintexts: &[[u8; 16]],
+        window: std::ops::Range<usize>,
+        endpoints: &[usize],
+    ) -> Vec<CaptureRecord> {
+        plaintexts
+            .iter()
+            .map(|&pt| self.encrypt_internal(pt, Some(window.clone()), Some(endpoints)))
+            .collect()
     }
 
     fn encrypt_internal(
@@ -663,6 +773,49 @@ mod tests {
     fn alu_fabric_has_193_endpoints() {
         let fabric = MultiTenantFabric::new(&FabricConfig::default()).unwrap();
         assert_eq!(fabric.endpoints(), 193);
+    }
+
+    #[test]
+    fn cached_prototype_build_is_bit_identical_to_uncached() {
+        let config = small_config();
+        // A fresh, cache-bypassing build vs. the cached path.
+        let proto = FabricPrototype::build(&config).unwrap();
+        let mut uncached = MultiTenantFabric::from_prototype(&proto, &config);
+        let mut cached = MultiTenantFabric::new(&config).unwrap();
+        for i in 0..3 {
+            let pt = [i as u8; 16];
+            assert_eq!(
+                uncached.encrypt_and_capture(pt),
+                cached.encrypt_and_capture(pt)
+            );
+        }
+        assert_eq!(proto.endpoints(), config.benign.endpoints());
+    }
+
+    #[test]
+    fn prototype_cache_hits_across_shard_reseeds() {
+        let config = small_config();
+        // for_shard only touches noise seeds, so every shard must share
+        // the lane-0 prototype (same Arc, not merely equal contents).
+        let p0 = FabricPrototype::cached(&config).unwrap();
+        let p1 = FabricPrototype::cached(&config.for_shard(3)).unwrap();
+        assert!(Arc::ptr_eq(&p0, &p1));
+    }
+
+    #[test]
+    fn batch_capture_matches_sequential_singles() {
+        let config = small_config();
+        let mut batched = MultiTenantFabric::new(&config).unwrap();
+        let mut serial = MultiTenantFabric::new(&config).unwrap();
+        let window = batched.last_round_window();
+        let endpoints = [1usize, 9, 30];
+        let pts: Vec<[u8; 16]> = (0..5).map(|i| [i as u8 * 17; 16]).collect();
+        let batch = batched.encrypt_windowed_batch(&pts, window.clone(), &endpoints);
+        let singles: Vec<CaptureRecord> = pts
+            .iter()
+            .map(|&pt| serial.encrypt_windowed(pt, window.clone(), &endpoints))
+            .collect();
+        assert_eq!(batch, singles);
     }
 
     #[test]

@@ -129,7 +129,9 @@ impl DelayModel {
         utilization: f64,
     ) -> Result<AnnotatedDelays, TimingError> {
         let mut ann = self.annotate(nl);
-        let sta = ann.sta()?;
+        // One-shot query during calibration: the direct full pass skips
+        // the engine's fanout-index construction.
+        let sta = StaResult::compute(&ann)?;
         let crit_ps = sta.critical_ps();
         if crit_ps > 0.0 {
             let scale = target_period_ns * 1000.0 * utilization / crit_ps;
@@ -177,12 +179,16 @@ impl AnnotatedDelays {
 
     /// Runs static timing analysis over this annotation.
     ///
+    /// Delegates to the cached-state [`crate::StaEngine`] with every
+    /// input launching, which reproduces the historical full recompute
+    /// bit for bit (pinned by `engine_full_launch_matches_compute_bitwise`).
+    ///
     /// # Errors
     ///
     /// [`TimingError::CyclicNetlist`] if the netlist has a combinational
     /// cycle.
     pub fn sta(&self) -> Result<StaResult, TimingError> {
-        StaResult::compute(self)
+        crate::StaEngine::new(self).map(|e| e.to_sta_result())
     }
 }
 

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod delay;
+mod engine;
 mod error;
 mod sta;
 mod voltage;
 mod waveform;
 
 pub use delay::{AnnotatedDelays, DelayModel};
+pub use engine::StaEngine;
 pub use error::TimingError;
 pub use sta::{PathSegment, StaResult};
 pub use voltage::VoltageDelayLaw;

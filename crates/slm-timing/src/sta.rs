@@ -28,6 +28,28 @@ pub struct StaResult {
 }
 
 impl StaResult {
+    /// Assembles a result from already-propagated per-net state — the
+    /// constructor the incremental [`crate::StaEngine`] uses. Callers
+    /// must supply arrays consistent with one propagation pass over the
+    /// netlist; `StaResult::compute` remains the reference producer.
+    pub(crate) fn from_parts(
+        arrival_ps: Vec<f64>,
+        min_arrival_ps: Vec<f64>,
+        critical_fanin: Vec<Option<u32>>,
+        output_arrivals: Vec<f64>,
+        output_min_arrivals: Vec<f64>,
+        critical_net: Option<NetId>,
+    ) -> StaResult {
+        StaResult {
+            arrival_ps,
+            min_arrival_ps,
+            critical_fanin,
+            output_arrivals,
+            output_min_arrivals,
+            critical_net,
+        }
+    }
+
     pub(crate) fn compute(ann: &AnnotatedDelays) -> Result<StaResult, TimingError> {
         let nl = ann.netlist();
         let order = nl

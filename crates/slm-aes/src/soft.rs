@@ -55,6 +55,15 @@ fn mul(a: u8, mut b: u8) -> u8 {
     acc
 }
 
+/// GF(2⁸) multiplication in the AES field (x⁸ + x⁴ + x³ + x + 1).
+///
+/// Public so differential fault analysis can enumerate the MixColumns
+/// images of a candidate fault value (the 9th-round diagonal model
+/// propagates a single-byte fault through one column as `{2ε, 3ε, ε}`).
+pub fn gf_mul(a: u8, b: u8) -> u8 {
+    mul(a, b)
+}
+
 /// Expands a 128-bit key into the 11 round keys.
 pub fn key_expansion(key: &[u8; 16]) -> [[u8; 16]; ROUNDS + 1] {
     let mut w = [[0u8; 4]; 44];
@@ -212,6 +221,87 @@ pub fn encrypt_round_states(key: &[u8; 16], plaintext: &[u8; 16]) -> [[u8; 16]; 
     add_round_key(&mut state, &rk[ROUNDS]);
     out[ROUNDS] = state;
     out
+}
+
+/// Encrypts one block with XOR fault masks applied to round-boundary
+/// states: each `(round, mask)` entry XORs `mask` into the state right
+/// after round `round`'s AddRoundKey (round 0 = the initial key
+/// addition, round 10 = the ciphertext register itself).
+///
+/// This is the software model of a register-capture timing fault: a
+/// supply droop stretches the combinational cone past the clock period,
+/// so the round register latches stale bits — equivalent to XORing a
+/// difference into the captured state. With an empty fault list the
+/// result is bit-identical to [`encrypt`].
+pub fn encrypt_with_state_faults(
+    key: &[u8; 16],
+    plaintext: &[u8; 16],
+    faults: &[(usize, [u8; 16])],
+) -> [u8; 16] {
+    fn apply(state: &mut [u8; 16], faults: &[(usize, [u8; 16])], round: usize) {
+        for (r, mask) in faults {
+            if *r == round {
+                for (s, m) in state.iter_mut().zip(mask) {
+                    *s ^= m;
+                }
+            }
+        }
+    }
+    let rk = key_expansion(key);
+    let mut state = *plaintext;
+    add_round_key(&mut state, &rk[0]);
+    apply(&mut state, faults, 0);
+    for (r, round_key) in rk.iter().enumerate().take(ROUNDS).skip(1) {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, round_key);
+        apply(&mut state, faults, r);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &rk[ROUNDS]);
+    apply(&mut state, faults, ROUNDS);
+    state
+}
+
+/// Encrypts one block with a single-byte fault `delta` XORed into state
+/// byte `byte` immediately *before* MixColumns of `round` (1 ≤ round ≤ 9)
+/// — the textbook injection point of diagonal differential fault
+/// analysis: MixColumns spreads the fault over one column, ShiftRows of
+/// the following rounds over a diagonal of the ciphertext.
+///
+/// # Panics
+///
+/// Panics if `round` is outside `1..=9` or `byte` ≥ 16.
+pub fn encrypt_with_premix_fault(
+    key: &[u8; 16],
+    plaintext: &[u8; 16],
+    round: usize,
+    byte: usize,
+    delta: u8,
+) -> [u8; 16] {
+    assert!(
+        (1..ROUNDS).contains(&round),
+        "MixColumns runs in rounds 1..=9"
+    );
+    assert!(byte < 16);
+    let rk = key_expansion(key);
+    let mut state = *plaintext;
+    add_round_key(&mut state, &rk[0]);
+    for (r, round_key) in rk.iter().enumerate().take(ROUNDS).skip(1) {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        if r == round {
+            state[byte] ^= delta;
+        }
+        mix_columns(&mut state);
+        add_round_key(&mut state, round_key);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &rk[ROUNDS]);
+    state
 }
 
 /// Recovers the original 128-bit cipher key from the last round key by
@@ -378,5 +468,74 @@ mod tests {
     fn gf_mul_spot_checks() {
         assert_eq!(mul(0x57, 0x02), 0xae);
         assert_eq!(mul(0x57, 0x13), 0xfe); // FIPS-197 §4.2.1 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe); // public wrapper agrees
+    }
+
+    #[test]
+    fn empty_fault_list_is_plain_encrypt() {
+        assert_eq!(encrypt_with_state_faults(&FIPS_KEY, &FIPS_PT, &[]), FIPS_CT);
+        let zero = [(9usize, [0u8; 16])];
+        assert_eq!(
+            encrypt_with_state_faults(&FIPS_KEY, &FIPS_PT, &zero),
+            FIPS_CT
+        );
+    }
+
+    #[test]
+    fn round9_state_fault_changes_exactly_the_shifted_byte() {
+        // A single-byte fault in state9 byte j passes only through the
+        // final SubBytes + ShiftRows, so exactly ct[shift_rows_dest(j)]
+        // differs — the relation single-byte DFA inverts.
+        for j in [0usize, 5, 10, 15] {
+            let mut mask = [0u8; 16];
+            mask[j] = 0x01;
+            let faulty = encrypt_with_state_faults(&FIPS_KEY, &FIPS_PT, &[(9, mask)]);
+            let diff_positions: Vec<usize> = (0..16).filter(|&i| faulty[i] != FIPS_CT[i]).collect();
+            assert_eq!(diff_positions, vec![shift_rows_dest(j)], "byte {j}");
+        }
+    }
+
+    #[test]
+    fn round10_fault_hits_ciphertext_directly() {
+        let mut mask = [0u8; 16];
+        mask[3] = 0x80;
+        let faulty = encrypt_with_state_faults(&FIPS_KEY, &FIPS_PT, &[(10, mask)]);
+        let mut expect = FIPS_CT;
+        expect[3] ^= 0x80;
+        assert_eq!(faulty, expect);
+    }
+
+    #[test]
+    fn early_round_fault_avalanches() {
+        // A round-5 fault diffuses through the remaining MixColumns
+        // layers: every ciphertext byte should differ.
+        let mut mask = [0u8; 16];
+        mask[0] = 0x01;
+        let faulty = encrypt_with_state_faults(&FIPS_KEY, &FIPS_PT, &[(5, mask)]);
+        assert!((0..16).all(|i| faulty[i] != FIPS_CT[i]));
+    }
+
+    #[test]
+    fn premix_fault_spreads_over_one_column_of_state9() {
+        // ε before MixColumns of round 9, at state byte 4c+r, produces
+        // state9 column-c diffs {M[i][r]·ε}; through the final round
+        // those land on a ciphertext diagonal with exactly 4 diff bytes.
+        let states = encrypt_round_states(&FIPS_KEY, &FIPS_PT);
+        let (byte, delta) = (6usize, 0x21u8); // column 1, row 2
+        let faulty = encrypt_with_premix_fault(&FIPS_KEY, &FIPS_PT, 9, byte, delta);
+        let diff_positions: Vec<usize> = (0..16).filter(|&i| faulty[i] != FIPS_CT[i]).collect();
+        assert_eq!(diff_positions.len(), 4);
+        // Each diff byte's state9 difference is a MixColumns coefficient
+        // image of delta.
+        let rk = key_expansion(&FIPS_KEY);
+        let allowed = [gf_mul(delta, 1), gf_mul(delta, 2), gf_mul(delta, 3)];
+        for &jd in &diff_positions {
+            // invert the final round at position jd
+            let j = (0..16).find(|&j| shift_rows_dest(j) == jd).unwrap();
+            let s9 = INV_SBOX[(FIPS_CT[jd] ^ rk[10][jd]) as usize];
+            let s9f = INV_SBOX[(faulty[jd] ^ rk[10][jd]) as usize];
+            assert_eq!(s9, states[9][j]);
+            assert!(allowed.contains(&(s9 ^ s9f)), "diff {:02x}", s9 ^ s9f);
+        }
     }
 }

@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use serde::Serialize;
 use slm_core::experiments::{
-    run_streaming, run_streaming_faulted, run_streaming_with_recorded, CpaExperiment, CrashPlan,
+    run_streaming, run_streaming_crashing, run_streaming_with_recorded, CpaExperiment, CrashPlan,
     CrashSite, DefenseArm, EarlyStop, SensorSource, StreamOutcome, StreamingCpa,
 };
 use slm_fabric::{BenignCircuit, DetectorConfig};
@@ -97,7 +97,7 @@ fn crash_smoke() -> CrashSmoke {
         .kill_at(5, CrashSite::TornCommit);
     let mut kills = 0u64;
     let resumed = loop {
-        match run_streaming_faulted(&exp, &dir, |_| {}, &Obs::null(), &mut plan)
+        match run_streaming_crashing(&exp, &dir, |_| {}, &Obs::null(), &mut plan)
             .expect("streaming run")
         {
             StreamOutcome::Complete(r) => break r,

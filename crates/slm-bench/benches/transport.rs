@@ -6,10 +6,10 @@
 //! noise, and CPA checkpoint serialization.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use slm_core::experiments::{fault_study, FaultStudy};
+use slm_core::experiments::{transport_fault_study, TransportFaultStudy};
 use slm_cpa::store::{read_checkpoint, write_checkpoint};
 use slm_cpa::{CpaAttack, LastRoundModel};
-use slm_fabric::{crc16, FaultInjector, FaultPlan, UartFrame, UartLink};
+use slm_fabric::{crc16, UartFrame, UartLink, WireFaultInjector, WireFaultPlan};
 use slm_pdn::noise::Rng64;
 use std::hint::black_box;
 
@@ -17,17 +17,17 @@ use std::hint::black_box;
 /// sweep: how much trace overhead the retry/quarantine loop pays at
 /// each wire quality, and where the attack stops converging.
 fn fault_rate_vs_mtd(c: &mut Criterion) {
-    let exp = FaultStudy {
+    let exp = TransportFaultStudy {
         // MTD on this fabric varies a few-fold with the plaintext
         // stream; 6k traces puts every benign rate safely past it so a
         // non-converged row means the wire, not an unlucky stream.
         traces: 6_000,
         fault_rates: vec![0.0, 1e-4, 1e-3, 5e-3],
         seed: 41,
-        ..FaultStudy::default()
+        ..TransportFaultStudy::default()
     };
     let start = std::time::Instant::now();
-    let r = fault_study(&exp).expect("fabric builds");
+    let r = transport_fault_study(&exp).expect("fabric builds");
     for row in &r.rows {
         println!(
             "[fault_sweep] rate={:.0e} delivered={}/{} retries={} quarantined={} resyncs={} \
@@ -47,14 +47,14 @@ fn fault_rate_vs_mtd(c: &mut Criterion) {
 
     c.bench_function("fault_study_row_1e-3", |b| {
         b.iter(|| {
-            let exp = FaultStudy {
+            let exp = TransportFaultStudy {
                 traces: 200,
                 fault_rates: vec![1e-3],
                 checkpoints: 2,
                 seed: 42,
-                ..FaultStudy::default()
+                ..TransportFaultStudy::default()
             };
-            fault_study(black_box(&exp)).unwrap()
+            transport_fault_study(black_box(&exp)).unwrap()
         })
     });
 }
@@ -72,7 +72,7 @@ fn framing_kernels(c: &mut Criterion) {
     });
 
     // Scanner under fire: a buffer of noisy frames, decoded to exhaustion.
-    let mut inj = FaultInjector::new(FaultPlan::byte_noise(9, 2e-3));
+    let mut inj = WireFaultInjector::new(WireFaultPlan::byte_noise(9, 2e-3));
     let mut noisy = Vec::new();
     for i in 0..64u8 {
         noisy.extend(inj.mangle(UartFrame::new(i, vec![i; 96]).encode()));
@@ -100,7 +100,7 @@ fn framing_kernels(c: &mut Criterion) {
 
 fn link_roundtrip(c: &mut Criterion) {
     c.bench_function("link_roundtrip_faulty_1e-3", |b| {
-        let mut link = UartLink::with_faults(921_600, FaultPlan::byte_noise(3, 1e-3));
+        let mut link = UartLink::with_faults(921_600, WireFaultPlan::byte_noise(3, 1e-3));
         let mut seq = 0u8;
         b.iter(|| {
             seq = seq.wrapping_add(1);

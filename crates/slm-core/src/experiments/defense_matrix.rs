@@ -316,8 +316,9 @@ pub fn defense_matrix_recorded(
 }
 
 /// A stable per-arm seed lane (content-derived, so inserting an arm
-/// does not re-seed its neighbours).
-fn arm_tag(arm: &DefenseArm) -> u64 {
+/// does not re-seed its neighbours). Shared with the fault matrix so
+/// the same defense arm lands on the same lane in both sweeps.
+pub(crate) fn arm_tag(arm: &DefenseArm) -> u64 {
     match *arm {
         DefenseArm::Undefended => 1,
         DefenseArm::ConstantFence(a) => 0x100 ^ a.to_bits(),

@@ -6,11 +6,12 @@ mod audits;
 mod cpa;
 mod defense_matrix;
 mod extensions;
-mod fault_study;
+mod fault_matrix;
 mod parallel;
 mod preliminary;
 mod stealth_matrix;
 mod streaming;
+mod transport_study;
 
 pub use arch_study::{architecture_study, ArchRow, ArchStudy};
 pub use audits::{
@@ -29,7 +30,11 @@ pub use extensions::{
     run_cpa_with_recorded, tdc_dominates, tvla_study, FenceStudy, FullKeyResult, MaskingStudy,
     PlacementRow, TvlaResult,
 };
-pub use fault_study::{fault_study, FaultRow, FaultStudy, FaultStudyResult};
+pub use fault_matrix::{
+    fault_matrix, fault_matrix_recorded, run_fault_campaign, run_fault_campaign_recorded,
+    AggressorDetectorReading, FaultCampaign, FaultCampaignOutcome, FaultMatrix, FaultMatrixCell,
+    FaultMatrixExperiment,
+};
 pub use parallel::{
     run_cpa_parallel, run_cpa_parallel_recorded, run_cpa_parallel_with,
     run_cpa_parallel_with_recorded, ParallelCpa,
@@ -42,7 +47,10 @@ pub use stealth_matrix::{
     stealth_matrix, MatrixRow, StealthMatrix, OVERCLOCK_MHZ, SYNTH_CRITICAL_NS,
 };
 pub use streaming::{
-    run_streaming, run_streaming_faulted, run_streaming_recorded, run_streaming_with,
+    run_streaming, run_streaming_crashing, run_streaming_recorded, run_streaming_with,
     run_streaming_with_recorded, CrashPlan, CrashSite, EarlyStop, StreamOutcome, StreamingCpa,
     StreamingError, StreamingResult,
+};
+pub use transport_study::{
+    transport_fault_study, TransportFaultRow, TransportFaultStudy, TransportFaultStudyResult,
 };

@@ -265,7 +265,7 @@ pub enum CrashSite {
 }
 
 /// A deterministic schedule of simulated process deaths, in the spirit
-/// of the fault-study `FaultPlan`: each entry kills the run the first
+/// of the fault-study `WireFaultPlan`: each entry kills the run the first
 /// time the named commit group reaches the named site. Kills fire in
 /// list order; a consumed plan (all kills fired) lets the run complete,
 /// so one plan can drive a whole kill/resume/kill/resume chain.
@@ -403,7 +403,7 @@ pub fn run_streaming_with_recorded(
     tweak: impl FnOnce(&mut FabricConfig),
     obs: &Obs,
 ) -> Result<StreamingResult, StreamingError> {
-    match run_streaming_faulted(exp, dir, tweak, obs, &mut CrashPlan::none())? {
+    match run_streaming_crashing(exp, dir, tweak, obs, &mut CrashPlan::none())? {
         StreamOutcome::Complete(r) => Ok(r),
         StreamOutcome::Killed { .. } => unreachable!("empty crash plan never kills"),
     }
@@ -423,7 +423,7 @@ struct WindowPartial {
 /// # Errors
 ///
 /// Fabric construction, ledger I/O, or an incompatible checkpoint.
-pub fn run_streaming_faulted(
+pub fn run_streaming_crashing(
     exp: &StreamingCpa,
     dir: impl AsRef<Path>,
     tweak: impl FnOnce(&mut FabricConfig),
@@ -765,7 +765,7 @@ mod tests {
         let mut plan = CrashPlan::none()
             .kill_at(0, CrashSite::AfterCommit)
             .kill_at(1, CrashSite::AfterFold);
-        let k1 = run_streaming_faulted(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
+        let k1 = run_streaming_crashing(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
         assert_eq!(
             k1,
             StreamOutcome::Killed {
@@ -773,7 +773,7 @@ mod tests {
                 traces_committed: 120
             }
         );
-        let k2 = run_streaming_faulted(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
+        let k2 = run_streaming_crashing(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
         // Second kill fires after the fold of group 1, before its
         // commit — so only group 0's commit is durable.
         assert_eq!(
@@ -799,7 +799,7 @@ mod tests {
         let dir = scratch_dir("torn");
         let exp = small_exp(23);
         let mut plan = CrashPlan::none().kill_at(1, CrashSite::TornCommit);
-        let killed = run_streaming_faulted(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
+        let killed = run_streaming_crashing(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
         assert_eq!(
             killed,
             StreamOutcome::Killed {
@@ -825,7 +825,7 @@ mod tests {
         let dir = scratch_dir("foreign");
         let exp = small_exp(24);
         let mut plan = CrashPlan::none().kill_at(0, CrashSite::AfterCommit);
-        run_streaming_faulted(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
+        run_streaming_crashing(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
         // Same directory, different seed ⇒ different fingerprint.
         let err = run_streaming(&small_exp(25), &dir).unwrap_err();
         match err {

@@ -14,14 +14,14 @@ use serde::{Deserialize, Serialize};
 use slm_cpa::store::{read_checkpoint, write_checkpoint};
 use slm_cpa::{measurements_to_disclosure, CpaAttack, LastRoundModel, ProgressPoint};
 use slm_fabric::{
-    BenignCircuit, CampaignDriver, FabricConfig, FabricError, FaultPlan, RemoteSession,
-    TransportError,
+    BenignCircuit, CampaignDriver, FabricConfig, FabricError, RemoteSession, TransportError,
+    WireFaultPlan,
 };
 use slm_pdn::noise::Rng64;
 
 /// Parameters of one fault-robustness sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FaultStudy {
+pub struct TransportFaultStudy {
     /// The benign circuit sharing the fabric with the victim.
     pub circuit: BenignCircuit,
     /// Capture requests per fault rate.
@@ -39,9 +39,9 @@ pub struct FaultStudy {
     pub workers: usize,
 }
 
-impl Default for FaultStudy {
+impl Default for TransportFaultStudy {
     fn default() -> Self {
-        FaultStudy {
+        TransportFaultStudy {
             circuit: BenignCircuit::DualC6288,
             traces: 3_000,
             fault_rates: vec![0.0, 1e-4, 1e-3],
@@ -54,7 +54,7 @@ impl Default for FaultStudy {
 
 /// Outcome of one fault rate within a sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FaultRow {
+pub struct TransportFaultRow {
     /// Byte-fault rate on the wire.
     pub fault_rate: f64,
     /// Capture requests issued.
@@ -83,11 +83,11 @@ pub struct FaultRow {
 
 /// Outcome of a fault-robustness sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FaultStudyResult {
+pub struct TransportFaultStudyResult {
     /// Ground-truth last-round key byte under attack.
     pub correct_key_byte: u8,
     /// One row per swept fault rate.
-    pub rows: Vec<FaultRow>,
+    pub rows: Vec<TransportFaultRow>,
 }
 
 /// Runs the sweep.
@@ -98,12 +98,14 @@ pub struct FaultStudyResult {
 /// errors; `InvalidData`-style checkpoint corruption surfaces as a
 /// transport validation error (it cannot occur with an in-memory
 /// buffer and indicates a bug).
-pub fn fault_study(exp: &FaultStudy) -> Result<FaultStudyResult, FabricError> {
+pub fn transport_fault_study(
+    exp: &TransportFaultStudy,
+) -> Result<TransportFaultStudyResult, FabricError> {
     let model = LastRoundModel::paper_target();
     let rates: Vec<(usize, f64)> = exp.fault_rates.iter().copied().enumerate().collect();
     // Rows are self-contained campaigns seeded only by (exp, i): the
     // worker pool changes the wall clock, never the rows.
-    let rows: Vec<Result<(FaultRow, u8), FabricError>> =
+    let rows: Vec<Result<(TransportFaultRow, u8), FabricError>> =
         slm_par::par_map(exp.workers, &rates, |&(i, rate)| {
             fault_row(exp, model, i, rate)
         });
@@ -114,7 +116,7 @@ pub fn fault_study(exp: &FaultStudy) -> Result<FaultStudyResult, FabricError> {
         correct_key_byte = key_byte;
         out.push(row);
     }
-    Ok(FaultStudyResult {
+    Ok(TransportFaultStudyResult {
         correct_key_byte,
         rows: out,
     })
@@ -123,18 +125,18 @@ pub fn fault_study(exp: &FaultStudy) -> Result<FaultStudyResult, FabricError> {
 /// One fault rate of the sweep: a full resilient campaign on its own
 /// fabric and wire.
 fn fault_row(
-    exp: &FaultStudy,
+    exp: &TransportFaultStudy,
     model: LastRoundModel,
     i: usize,
     rate: f64,
-) -> Result<(FaultRow, u8), FabricError> {
+) -> Result<(TransportFaultRow, u8), FabricError> {
     let config = FabricConfig {
         benign: exp.circuit,
         seed: exp.seed,
         ..FabricConfig::default()
     };
     let session = if rate > 0.0 {
-        let plan = FaultPlan::byte_noise(exp.seed ^ (i as u64).wrapping_mul(0x9e37), rate);
+        let plan = WireFaultPlan::byte_noise(exp.seed ^ (i as u64).wrapping_mul(0x9e37), rate);
         RemoteSession::with_fault_plan(&config, vec![], plan)?
     } else {
         RemoteSession::new(&config, vec![])?
@@ -196,7 +198,7 @@ fn fault_row(
 
     let stats = *driver.stats();
     let session = driver.into_session();
-    let row = FaultRow {
+    let row = TransportFaultRow {
         fault_rate: rate,
         requested: stats.requested,
         delivered: stats.delivered,
@@ -219,12 +221,12 @@ mod tests {
 
     #[test]
     fn clean_wire_baseline_recovers_key() {
-        let exp = FaultStudy {
+        let exp = TransportFaultStudy {
             traces: 3_000,
             fault_rates: vec![0.0],
-            ..FaultStudy::default()
+            ..TransportFaultStudy::default()
         };
-        let r = fault_study(&exp).unwrap();
+        let r = transport_fault_study(&exp).unwrap();
         let row = &r.rows[0];
         assert!(row.recovered, "clean-wire TDC attack must converge");
         assert_eq!(row.delivered, row.requested);
@@ -236,27 +238,27 @@ mod tests {
 
     #[test]
     fn sweep_is_worker_count_invariant() {
-        let base = FaultStudy {
+        let base = TransportFaultStudy {
             traces: 300,
             fault_rates: vec![0.0, 1e-3],
             checkpoints: 2,
             seed: 5,
-            ..FaultStudy::default()
+            ..TransportFaultStudy::default()
         };
-        let serial = fault_study(&base).unwrap();
-        let parallel = fault_study(&FaultStudy { workers: 4, ..base }).unwrap();
+        let serial = transport_fault_study(&base).unwrap();
+        let parallel = transport_fault_study(&TransportFaultStudy { workers: 4, ..base }).unwrap();
         assert_eq!(serial, parallel, "rows must not depend on the pool");
     }
 
     #[test]
     fn faulty_wire_still_recovers_with_bounded_overhead() {
-        let exp = FaultStudy {
+        let exp = TransportFaultStudy {
             traces: 3_000,
             fault_rates: vec![0.0, 1e-3],
             seed: 3,
-            ..FaultStudy::default()
+            ..TransportFaultStudy::default()
         };
-        let r = fault_study(&exp).unwrap();
+        let r = transport_fault_study(&exp).unwrap();
         let clean = &r.rows[0];
         let noisy = &r.rows[1];
         assert!(clean.recovered && noisy.recovered);

@@ -43,6 +43,7 @@
 
 mod attack;
 mod bits;
+pub mod dfa;
 mod error;
 mod mtd;
 mod multibyte;
@@ -52,6 +53,7 @@ mod tvla;
 
 pub use attack::{leader_margin, CpaAttack, CpaCheckpoint, LastRoundModel, TraceBatch};
 pub use bits::{common_mode_polarity, BitActivity, BitCensus};
+pub use dfa::{DfaAttack, DfaModel, PairOutcome};
 pub use error::CpaError;
 pub use mtd::{measurements_to_disclosure, rank_progress, ProgressPoint};
 pub use multibyte::MultiByteCpa;

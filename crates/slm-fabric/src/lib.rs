@@ -38,25 +38,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggressor;
 mod bram;
 mod circuit;
 mod clock;
 mod error;
-mod faults;
 pub mod floorplan;
 mod remote;
 mod scenario;
 mod uart;
+mod wire_faults;
 
+pub use aggressor::{AggressorSpec, FaultTelemetry, VictimCone};
 pub use bram::BramCapture;
 pub use circuit::{BenignCircuit, BuiltCircuit};
 pub use clock::{ClockSpec, Mmcm};
 pub use error::{FabricError, TransportError};
-pub use faults::{FaultInjector, FaultPlan, FaultStats};
+// `WireFault*` were historically named `Fault*`; they are the UART
+// transport adversary. The unqualified fault-injection vocabulary
+// (`AggressorSpec`, `FaultTelemetry`) now unambiguously means PDN
+// timing faults.
 pub use remote::{
     CampaignDriver, CampaignStats, QuarantinedTrace, RemoteSession, RetryPolicy, ShardOutcome,
     ShardedCampaign,
 };
+pub use wire_faults::{WireFaultInjector, WireFaultPlan, WireFaultStats};
 // Shard planning vocabulary, re-exported so campaign callers need not
 // depend on slm-par directly.
 pub use scenario::{

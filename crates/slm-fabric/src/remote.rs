@@ -17,9 +17,9 @@
 
 use crate::bram::BramCapture;
 use crate::error::{FabricError, TransportError};
-use crate::faults::{FaultPlan, FaultStats};
 use crate::scenario::{CaptureRecord, FabricConfig, MultiTenantFabric};
 use crate::uart::{LinkStats, UartFrame, UartLink};
+use crate::wire_faults::{WireFaultPlan, WireFaultStats};
 use slm_obs::{MetricsFrame, Obs};
 use slm_par::{ShardPlan, ShardSpec};
 use slm_sensors::SensorSample;
@@ -49,7 +49,7 @@ impl RemoteSession {
         Self::build(config, endpoints, None)
     }
 
-    /// Like [`RemoteSession::new`], but mounts a seeded [`FaultPlan`]
+    /// Like [`RemoteSession::new`], but mounts a seeded [`WireFaultPlan`]
     /// on the wire so every frame in both directions runs through the
     /// fault model.
     ///
@@ -59,7 +59,7 @@ impl RemoteSession {
     pub fn with_fault_plan(
         config: &FabricConfig,
         endpoints: Vec<usize>,
-        plan: FaultPlan,
+        plan: WireFaultPlan,
     ) -> Result<Self, FabricError> {
         Self::build(config, endpoints, Some(plan))
     }
@@ -67,7 +67,7 @@ impl RemoteSession {
     fn build(
         config: &FabricConfig,
         endpoints: Vec<usize>,
-        plan: Option<FaultPlan>,
+        plan: Option<WireFaultPlan>,
     ) -> Result<Self, FabricError> {
         let fabric = MultiTenantFabric::new(config)?;
         let window = fabric.last_round_window();
@@ -102,7 +102,7 @@ impl RemoteSession {
     }
 
     /// Fault accounting, when a fault plan is mounted.
-    pub fn fault_stats(&self) -> Option<&FaultStats> {
+    pub fn fault_stats(&self) -> Option<&WireFaultStats> {
         self.link.fault_stats()
     }
 
@@ -734,7 +734,7 @@ impl CampaignDriver {
             faults: self
                 .session
                 .fault_stats()
-                .map_or(0, FaultStats::total_faults),
+                .map_or(0, WireFaultStats::total_faults),
         }
     }
 
@@ -840,7 +840,7 @@ pub struct ShardedCampaign {
     /// Benign endpoints packed into each trace frame (empty = TDC only).
     pub endpoints: Vec<usize>,
     /// Optional wire-fault profile, forked per shard.
-    pub fault_plan: Option<FaultPlan>,
+    pub fault_plan: Option<WireFaultPlan>,
     /// Retry budget applied by every shard's driver.
     pub policy: RetryPolicy,
     /// The shard layout.
@@ -869,7 +869,7 @@ impl ShardedCampaign {
     }
 
     /// Mounts a wire-fault profile; shard `i` runs `plan.fork(i)`.
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+    pub fn with_fault_plan(mut self, plan: WireFaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
     }
@@ -1061,7 +1061,7 @@ mod tests {
 
     #[test]
     fn capture_batch_retries_through_a_lossy_wire() {
-        let plan = FaultPlan::new(99).with_stall(0.4);
+        let plan = WireFaultPlan::new(99).with_stall(0.4);
         let remote = RemoteSession::with_fault_plan(&config(), vec![], plan).unwrap();
         let key = remote.fabric().config().aes_key;
         let mut driver = CampaignDriver::new(remote);
@@ -1117,7 +1117,7 @@ mod tests {
 
     #[test]
     fn stalled_response_is_a_typed_no_response() {
-        let plan = FaultPlan::new(11).with_stall(1.0);
+        let plan = WireFaultPlan::new(11).with_stall(1.0);
         let mut remote = RemoteSession::with_fault_plan(&config(), vec![], plan).unwrap();
         let err = remote.host_encrypt([5; 16]).unwrap_err();
         assert!(matches!(
@@ -1131,7 +1131,7 @@ mod tests {
     fn driver_retries_through_a_lossy_wire() {
         // Drop ~40% of frames: every trace still gets through within the
         // default 4-attempt budget with overwhelming probability.
-        let plan = FaultPlan::new(99).with_stall(0.4);
+        let plan = WireFaultPlan::new(99).with_stall(0.4);
         let remote = RemoteSession::with_fault_plan(&config(), vec![], plan).unwrap();
         let key = remote.fabric().config().aes_key;
         let mut driver = CampaignDriver::new(remote);
@@ -1242,7 +1242,7 @@ mod tests {
 
     #[test]
     fn sharded_campaign_forks_fault_plans() {
-        let plan = FaultPlan::new(5).with_stall(0.2);
+        let plan = WireFaultPlan::new(5).with_stall(0.2);
         assert_ne!(plan.fork(0).seed, plan.fork(1).seed);
         assert_eq!(plan.fork(3), plan.fork(3));
         assert_eq!(plan.fork(1).stall, plan.stall, "rates are unchanged");
@@ -1344,7 +1344,7 @@ mod tests {
         // Retries, backoff, fault and PDN telemetry all flow through
         // per-shard recorders merged in shard order: the deterministic
         // view of the merged frame must not depend on the worker count.
-        let plan = FaultPlan::new(5).with_stall(0.2);
+        let plan = WireFaultPlan::new(5).with_stall(0.2);
         let run = |workers: usize| {
             let obs = Obs::memory();
             let outcomes = ShardedCampaign::new(config(), vec![], ShardPlan::new(8, 2))
@@ -1385,7 +1385,7 @@ mod tests {
     #[test]
     fn retries_exhausted_is_fatal_and_typed() {
         // A wire that always stalls exhausts any budget.
-        let plan = FaultPlan::new(1).with_stall(1.0);
+        let plan = WireFaultPlan::new(1).with_stall(1.0);
         let remote = RemoteSession::with_fault_plan(&config(), vec![], plan).unwrap();
         let mut driver = CampaignDriver::with_policy(
             remote,

@@ -1,5 +1,6 @@
 //! The multi-tenant electrical co-simulation.
 
+use crate::aggressor::{AggressorSpec, FaultTelemetry, VictimCone};
 use crate::circuit::BenignCircuit;
 use crate::error::FabricError;
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,17 @@ pub struct FabricConfig {
     pub stimulus_alternation: f64,
     /// Runtime countermeasures deployed by the defender, if any.
     pub defense: Option<DefenseConfig>,
+    /// Critical-path delay of the victim's per-column AES cone, ns,
+    /// against its 10 ns (100 MHz) clock period. The default 9.0 ns
+    /// models a reasonably tight but meeting design: ~47 mV of droop
+    /// erases the margin and the deepest endpoint starts missing the
+    /// clock edge. Only consulted by the fault-injection path; the CPA
+    /// substrate never reads it.
+    pub victim_critical_ns: f64,
+    /// Optional fault-injection aggressor mounted in the attacker
+    /// region. `None` (the default) is bit-exact with the pre-aggressor
+    /// fabric.
+    pub aggressor: Option<AggressorSpec>,
     /// Master seed (plaintext generation and housekeeping noise).
     pub seed: u64,
 }
@@ -81,6 +93,10 @@ impl FabricConfig {
     /// which worker executes the shard: that purity is what makes a
     /// parallel campaign bit-identical to the serial shard-by-shard
     /// run.
+    ///
+    /// The fault-injection aggressor needs no lane: its current is a
+    /// pure function of the tick index ([`AggressorSpec::current_a`]),
+    /// so every shard drives the identical duty cycle by construction.
     pub fn for_shard(&self, index: usize) -> FabricConfig {
         let lane = index as u64;
         let mut config = self.clone();
@@ -119,6 +135,8 @@ impl Default for FabricConfig {
             background_current_a: 0.25,
             stimulus_alternation: 0.0,
             defense: None,
+            victim_critical_ns: 9.0,
+            aggressor: None,
             seed: 0x5ca1ab1e,
         }
     }
@@ -248,6 +266,10 @@ pub struct FabricPrototype {
     waves: Vec<Waveform>,
     /// Mean switching current of the benign circuit, amps.
     benign_activity_current_a: f64,
+    /// The victim's per-column combinational cone, timed once — pure in
+    /// `(delay_model, victim_critical_ns)`, so it belongs to the
+    /// noise-free prototype slice and shard reseeds share it.
+    victim_cone: VictimCone,
 }
 
 impl FabricPrototype {
@@ -269,9 +291,16 @@ impl FabricPrototype {
         // The benign circuit's own switching draws a roughly constant
         // current every measure cycle, proportional to its activity.
         let benign_activity_current_a = 1.0e-6 * waves.total_transitions() as f64;
+        let victim_period_ns = MultiTenantFabric::TICKS_PER_AES_CYCLE as f64 * 1e9 / 300.0e6;
+        let victim_cone = VictimCone::build(
+            &config.delay_model,
+            config.victim_critical_ns,
+            victim_period_ns,
+        )?;
         Ok(FabricPrototype {
             waves: waves.into_output_waves(),
             benign_activity_current_a,
+            victim_cone,
         })
     }
 
@@ -286,8 +315,11 @@ impl FabricPrototype {
         static CACHE: OnceLock<Mutex<HashMap<String, Arc<FabricPrototype>>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let key = format!(
-            "{:?}|{:?}|{}",
-            config.benign, config.delay_model, config.achieved_critical_ns
+            "{:?}|{:?}|{}|{}",
+            config.benign,
+            config.delay_model,
+            config.achieved_critical_ns,
+            config.victim_critical_ns
         );
         if let Some(hit) = cache.lock().expect("prototype cache poisoned").get(&key) {
             return Ok(Arc::clone(hit));
@@ -309,6 +341,20 @@ impl FabricPrototype {
     pub fn endpoints(&self) -> usize {
         self.waves.len()
     }
+
+    /// The timed victim cone (test access to the fault physics).
+    pub fn victim_cone(&self) -> &VictimCone {
+        &self.victim_cone
+    }
+}
+
+/// Live aggressor state: the spec, the timed cone it attacks, and the
+/// ground-truth fault accounting.
+#[derive(Debug, Clone)]
+struct AggressorState {
+    spec: AggressorSpec,
+    cone: VictimCone,
+    telemetry: FaultTelemetry,
 }
 
 /// The living fabric: all tenants sharing one PDN, stepped on the
@@ -329,6 +375,8 @@ pub struct MultiTenantFabric {
     fence_rng: Option<Rng64>,
     /// Defender-side countermeasure state, when deployed.
     defense: Option<DefenseRuntime>,
+    /// Fault-injection aggressor state, when mounted.
+    aggressor: Option<AggressorState>,
     /// Fabric ticks elapsed since construction (drives the attacker's
     /// reset/measure stimulus parity).
     tick_count: u64,
@@ -392,6 +440,11 @@ impl MultiTenantFabric {
             rng: Rng64::new(config.seed),
             fence_rng: config.fence.map(|f| Rng64::new(f.seed)),
             defense: config.defense.as_ref().map(DefenseRuntime::new),
+            aggressor: config.aggressor.map(|spec| AggressorState {
+                spec,
+                cone: proto.victim_cone.clone(),
+                telemetry: FaultTelemetry::new(config.pdn.v_nominal),
+            }),
             tick_count: 0,
             dt_s: 1.0 / 300.0e6,
             lead_in_cycles: Self::LEAD_IN_CYCLES,
@@ -463,7 +516,17 @@ impl MultiTenantFabric {
         let parity = if self.tick_count % 2 == 0 { 1.0 } else { -1.0 };
         let stimulus =
             self.benign_activity_current_a * (1.0 + self.config.stimulus_alternation * parity);
-        let attacker = self.config.background_current_a + self.ro.current_a() + stimulus + fence;
+        // The fault-injection aggressor draws from the *attacker* region:
+        // its droop reaches the victim rail through the coupling matrix,
+        // which is exactly why supply regulation (LDO residual on the
+        // coupling) is the arm that suppresses the faults. 0.0 when
+        // unmounted — bit-exact, same discipline as the fence term.
+        let aggressor = match &self.aggressor {
+            Some(a) => a.spec.current_a(self.tick_count),
+            None => 0.0,
+        };
+        let attacker =
+            self.config.background_current_a + self.ro.current_a() + stimulus + fence + aggressor;
         [attacker, aes_cycle_current]
     }
 
@@ -486,6 +549,21 @@ impl MultiTenantFabric {
         self.defense.as_ref()
     }
 
+    /// Ground-truth fault-injection accounting, when an aggressor is
+    /// mounted. Faults are evaluated only on the capture path
+    /// ([`Self::encrypt_and_capture`] and friends); a free-running
+    /// [`Self::run_activity`] draws the aggressor current (so detectors
+    /// see it) but discards no ciphertexts, hence flips nothing here.
+    pub fn fault_telemetry(&self) -> Option<&FaultTelemetry> {
+        self.aggressor.as_ref().map(|a| &a.telemetry)
+    }
+
+    /// Deepest droop the victim rail has seen since construction
+    /// (simulation ground truth from the shared PDN, attacker-invisible).
+    pub fn victim_min_voltage(&self) -> f64 {
+        self.pdn.min_voltage(1)
+    }
+
     /// Steps the shared PDN one tick; returns the attacker-region
     /// voltage (what the sensors see).
     ///
@@ -494,7 +572,7 @@ impl MultiTenantFabric {
     /// region *before* the step, and the defender's TDC observes the
     /// settled victim rail *after* it (one-tick feedback latency for
     /// the adaptive fence).
-    fn step_pdn(&mut self, aes_cycle_current: f64) -> f64 {
+    fn step_pdn(&mut self, aes_cycle_current: f64) -> (f64, f64) {
         let currents = self.region_currents(aes_cycle_current);
         self.tick_count += 1;
         if let Some(defense) = &mut self.defense {
@@ -509,7 +587,7 @@ impl MultiTenantFabric {
         if let Some(defense) = &mut self.defense {
             defense.observe_tick(victim_v);
         }
-        attacker_v
+        (attacker_v, victim_v)
     }
 
     /// Runs one encryption while capturing every sensor on each measure
@@ -575,14 +653,20 @@ impl MultiTenantFabric {
         let mut benign = Vec::new();
         let mut tdc = Vec::new();
         let mut sample_idx = 0usize;
+        // Per-round XOR fault masks accumulated as the aggressor pushes
+        // capture cycles past their derated timing (empty when no cycle
+        // violates — the common case even with an aggressor mounted).
+        let mut fault_masks: Vec<(usize, [u8; 16])> = Vec::new();
         for c in 0..total_cycles {
             let aes_i = if c >= lead_in && c - lead_in < power.len() {
                 power[c - lead_in]
             } else {
                 self.config.leakage.idle_a
             };
+            let mut cycle_victim_vmin = f64::INFINITY;
             for t in 0..Self::TICKS_PER_AES_CYCLE {
-                let v = self.step_pdn(aes_i);
+                let (v, victim_v) = self.step_pdn(aes_i);
+                cycle_victim_vmin = cycle_victim_vmin.min(victim_v);
                 let tick = c * Self::TICKS_PER_AES_CYCLE + t;
                 if tick % 2 == 1 {
                     let in_window = window.as_ref().is_none_or(|w| w.contains(&sample_idx));
@@ -596,11 +680,85 @@ impl MultiTenantFabric {
                     sample_idx += 1;
                 }
             }
+            if self.aggressor.is_some() && c >= lead_in {
+                self.evaluate_fault_cycle(
+                    c - lead_in,
+                    cycle_victim_vmin,
+                    &plaintext,
+                    &mut fault_masks,
+                );
+            }
+        }
+        let ciphertext = if fault_masks.is_empty() {
+            ciphertext
+        } else {
+            if let Some(agg) = &mut self.aggressor {
+                agg.telemetry.faulted_encryptions += 1;
+            }
+            slm_aes::soft::encrypt_with_state_faults(&self.config.aes_key, &plaintext, &fault_masks)
+        };
+        if let Some(agg) = &mut self.aggressor {
+            agg.telemetry.encryptions += 1;
         }
         CaptureRecord {
             ciphertext,
             benign,
             tdc,
+        }
+    }
+
+    /// Checks one AES datapath cycle (`cycle` = 0 is the block load)
+    /// against the voltage-derated timing criterion and folds any
+    /// violation into the per-round fault masks.
+    ///
+    /// Cycle `1 + 4·(r−1) + col` computes column `col` of round `r`
+    /// ([`Aes32Rtl`]'s schedule), so a violation there flips bits of
+    /// state bytes `4·col .. 4·col+4` in the round-`r` register — the
+    /// mask [`slm_aes::soft::encrypt_with_state_faults`] consumes. The
+    /// load cycle is skipped (no combinational depth to speak of), and
+    /// the final round's cone is shallow enough
+    /// ([`crate::aggressor::VictimCone::column_fault_mask`]) that
+    /// realistic droops leave it alone: induced faults land in rounds
+    /// 1–9, where last-round DFA wants them.
+    fn evaluate_fault_cycle(
+        &mut self,
+        cycle: usize,
+        victim_vmin: f64,
+        plaintext: &[u8; 16],
+        fault_masks: &mut Vec<(usize, [u8; 16])>,
+    ) {
+        let Some(agg) = &mut self.aggressor else {
+            return;
+        };
+        agg.telemetry.min_victim_v = agg.telemetry.min_victim_v.min(victim_vmin);
+        if !(1..=4 * slm_aes::soft::ROUNDS).contains(&cycle) {
+            return;
+        }
+        let round = (cycle - 1) / 4 + 1;
+        let col = (cycle - 1) % 4;
+        // Data-derived rank rotation: which carry-chain endpoints are
+        // near-critical depends on the operands flowing through the
+        // column, so marginal droops don't pin the same byte of every
+        // column on every encryption. Deterministic (a pure function of
+        // the plaintext), so replays and shards stay bit-exact.
+        let rotation = usize::from(plaintext[cycle % 16] & 0x3);
+        let mask4 =
+            agg.cone
+                .column_fault_mask(victim_vmin, round == slm_aes::soft::ROUNDS, rotation);
+        if mask4 == [0u8; 4] {
+            return;
+        }
+        agg.telemetry.fault_cycles += 1;
+        agg.telemetry.flipped_bits += mask4.iter().map(|b| u64::from(b.count_ones())).sum::<u64>();
+        let entry = match fault_masks.iter_mut().find(|(r, _)| *r == round) {
+            Some((_, m)) => m,
+            None => {
+                fault_masks.push((round, [0u8; 16]));
+                &mut fault_masks.last_mut().expect("just pushed").1
+            }
+        };
+        for b in 0..4 {
+            entry[4 * col + b] ^= mask4[b];
         }
     }
 
@@ -652,7 +810,7 @@ impl MultiTenantFabric {
             if let Some(s) = schedule {
                 self.ro.set_enabled_fraction(s.fraction_at(tick));
             }
-            let v = self.step_pdn(aes_i);
+            let (v, _) = self.step_pdn(aes_i);
             if tick % 2 == 1 {
                 out.benign.push(self.sensor.sample(v));
                 out.tdc.push(self.tdc.sample(v));
@@ -941,6 +1099,163 @@ mod tests {
             max_delta <= 2,
             "isolated regions still coupled: Δ={max_delta}"
         );
+    }
+
+    #[test]
+    fn zero_peak_aggressor_is_bit_exact_with_none() {
+        // An aggressor drawing 0 A must leave every sample untouched:
+        // the fault path only rewrites ciphertexts when a mask actually
+        // accumulates, and 0 A of injected current never droops the
+        // rail past the cone threshold.
+        let baseline = small_config();
+        let zeroed = FabricConfig {
+            aggressor: Some(AggressorSpec::stealthy(0.0)),
+            ..small_config()
+        };
+        let mut a = MultiTenantFabric::new(&baseline).unwrap();
+        let mut b = MultiTenantFabric::new(&zeroed).unwrap();
+        for _ in 0..20 {
+            let pt = a.random_plaintext();
+            assert_eq!(pt, b.random_plaintext());
+            let ra = a.encrypt_and_capture(pt);
+            let rb = b.encrypt_and_capture(pt);
+            assert_eq!(ra.ciphertext, rb.ciphertext);
+            assert_eq!(ra.benign, rb.benign);
+            assert_eq!(ra.tdc, rb.tdc);
+        }
+        let t = b.fault_telemetry().unwrap();
+        assert_eq!(t.faulted_encryptions, 0);
+        assert_eq!(t.fault_cycles, 0);
+    }
+
+    #[test]
+    fn aggressor_faults_are_deterministic_and_round9_shaped() {
+        // Calibrated point: stealthy bursts at 3.0 A push the victim
+        // rail ~75 mV down at the droop peak, past the 0.953 V cone
+        // threshold, for a few cycles per burst.
+        let config = FabricConfig {
+            aggressor: Some(AggressorSpec::stealthy(3.0)),
+            ..small_config()
+        };
+        let mut a = MultiTenantFabric::new(&config).unwrap();
+        let mut b = MultiTenantFabric::new(&config).unwrap();
+        let mut faulted = 0usize;
+        let mut clean_round9 = 0usize;
+        for _ in 0..200 {
+            let pt = a.random_plaintext();
+            assert_eq!(pt, b.random_plaintext());
+            let ra = a.encrypt_windowed(pt, 0..0, &[]);
+            let rb = b.encrypt_windowed(pt, 0..0, &[]);
+            // Same seed, same tick history ⇒ the same faults, bit for bit.
+            assert_eq!(ra.ciphertext, rb.ciphertext);
+            let gold = soft::encrypt(&config.aes_key, &pt);
+            let ndiff = (0..16).filter(|&i| ra.ciphertext[i] != gold[i]).count();
+            if ndiff > 0 {
+                faulted += 1;
+            }
+            if (1..=4).contains(&ndiff) {
+                clean_round9 += 1;
+            }
+        }
+        assert_eq!(
+            a.fault_telemetry().unwrap().faulted_encryptions,
+            b.fault_telemetry().unwrap().faulted_encryptions,
+        );
+        let t = a.fault_telemetry().unwrap();
+        assert_eq!(t.encryptions, 200);
+        assert_eq!(t.faulted_encryptions as usize, faulted);
+        assert!(t.fault_cycles >= t.faulted_encryptions);
+        assert!(t.flipped_bits >= t.fault_cycles);
+        assert!(t.min_victim_v < 0.953, "no droop: {}", t.min_victim_v);
+        assert!(faulted >= 20, "too few faults: {faulted}/200");
+        assert!(
+            clean_round9 >= 3,
+            "no clean single-column round-9 faults: {clean_round9}"
+        );
+    }
+
+    #[test]
+    fn ldo_suppresses_aggressor_faults() {
+        // The aggressor droops the *attacker* rail; the victim only sees
+        // it through cross-region coupling, which is exactly what the
+        // LDO attenuates. A 0.25 residual turns a ~75 mV coupled droop
+        // into ~19 mV — well inside the victim's timing margin.
+        let attack = FabricConfig {
+            aggressor: Some(AggressorSpec::stealthy(3.0)),
+            ..small_config()
+        };
+        let defended = FabricConfig {
+            defense: Some(DefenseConfig {
+                ldo: Some(LdoConfig { residual: 0.25 }),
+                ..Default::default()
+            }),
+            ..attack.clone()
+        };
+        let mut hot = MultiTenantFabric::new(&attack).unwrap();
+        let mut cold = MultiTenantFabric::new(&defended).unwrap();
+        for _ in 0..120 {
+            let pt = hot.random_plaintext();
+            hot.encrypt_windowed(pt, 0..0, &[]);
+            cold.encrypt_windowed(pt, 0..0, &[]);
+        }
+        assert!(hot.fault_telemetry().unwrap().faulted_encryptions > 0);
+        let t = cold.fault_telemetry().unwrap();
+        assert_eq!(
+            t.faulted_encryptions, 0,
+            "LDO failed to suppress: vmin {}",
+            t.min_victim_v
+        );
+        assert!(t.min_victim_v > hot.fault_telemetry().unwrap().min_victim_v);
+    }
+
+    #[test]
+    fn faulted_ciphertext_matches_reference_fault_model() {
+        // The fabric's faulted ciphertexts must be *explained* by the
+        // reference model: re-encrypting with the accumulated masks on
+        // the software AES reproduces them exactly. We can't read the
+        // masks back out, but a fabric restarted from the same config
+        // replays the identical sequence, so comparing faulted outputs
+        // against the no-fault golden run pins the XOR-mask semantics:
+        // any diff must decompose into ShiftRows-consistent positions.
+        let config = FabricConfig {
+            aggressor: Some(AggressorSpec::stealthy(3.0)),
+            ..small_config()
+        };
+        let mut fabric = MultiTenantFabric::new(&config).unwrap();
+        let mut checked = 0usize;
+        for _ in 0..300 {
+            let pt = fabric.random_plaintext();
+            let rec = fabric.encrypt_windowed(pt, 0..0, &[]);
+            let gold = soft::encrypt(&config.aes_key, &pt);
+            let diffs: Vec<usize> = (0..16).filter(|&i| rec.ciphertext[i] != gold[i]).collect();
+            if !(1..=4).contains(&diffs.len()) {
+                continue;
+            }
+            // A clean single-column round-9 fault: there must exist a
+            // column c and per-row deltas reproducing the ciphertext via
+            // the reference state-fault encryption.
+            checked += 1;
+            let sources: Vec<usize> = diffs
+                .iter()
+                .map(|&jd| (0..16).find(|&j| soft::shift_rows_dest(j) == jd).unwrap())
+                .collect();
+            // A small fault touches at most two adjacent round-9
+            // columns (a violating run of ≤2 cycles).
+            let cols: std::collections::BTreeSet<usize> = sources.iter().map(|&j| j / 4).collect();
+            assert!(cols.len() <= 2, "small fault spans columns: {sources:?}");
+            // Recover the per-byte state-9 deltas and replay them.
+            let mut mask = [0u8; 16];
+            let state9 = soft::encrypt_round_states(&config.aes_key, &pt)[9];
+            let rk10 = soft::key_expansion(&config.aes_key)[soft::ROUNDS];
+            for (&j, &jd) in sources.iter().zip(&diffs) {
+                let faulty_s9 = soft::INV_SBOX[(rec.ciphertext[jd] ^ rk10[jd]) as usize];
+                mask[j] = state9[j] ^ faulty_s9;
+                assert_ne!(mask[j], 0);
+            }
+            let replay = soft::encrypt_with_state_faults(&config.aes_key, &pt, &[(9, mask)]);
+            assert_eq!(replay, rec.ciphertext, "mask replay diverged");
+        }
+        assert!(checked >= 5, "too few clean faults to check: {checked}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! byte costs one frame, not the whole capture session.
 
 use crate::error::{FabricError, TransportError};
-use crate::faults::{FaultInjector, FaultPlan, FaultStats};
+use crate::wire_faults::{WireFaultInjector, WireFaultPlan, WireFaultStats};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -216,7 +216,7 @@ pub struct UartLink {
     to_fpga: VecDeque<u8>,
     to_host: VecDeque<u8>,
     bytes_moved: u64,
-    injector: Option<FaultInjector>,
+    injector: Option<WireFaultInjector>,
     stats: LinkStats,
     fpga_rx: RxState,
     host_rx: RxState,
@@ -256,9 +256,9 @@ impl UartLink {
     /// Creates a link whose wire runs through a seeded fault injector.
     /// Both directions are mangled — requests can die as easily as
     /// responses.
-    pub fn with_faults(baud: u64, plan: FaultPlan) -> Self {
+    pub fn with_faults(baud: u64, plan: WireFaultPlan) -> Self {
         let mut link = Self::new(baud);
-        link.injector = Some(FaultInjector::new(plan));
+        link.injector = Some(WireFaultInjector::new(plan));
         link
     }
 
@@ -430,8 +430,8 @@ impl UartLink {
     }
 
     /// Fault accounting, when a fault plan is mounted.
-    pub fn fault_stats(&self) -> Option<&FaultStats> {
-        self.injector.as_ref().map(FaultInjector::stats)
+    pub fn fault_stats(&self) -> Option<&WireFaultStats> {
+        self.injector.as_ref().map(WireFaultInjector::stats)
     }
 }
 
@@ -623,7 +623,7 @@ mod tests {
 
     #[test]
     fn faulted_link_counts_faults() {
-        let mut link = UartLink::with_faults(115_200, FaultPlan::new(5).with_stall(1.0));
+        let mut link = UartLink::with_faults(115_200, WireFaultPlan::new(5).with_stall(1.0));
         link.host_send(&UartFrame::new(0, vec![1, 2, 3]));
         assert!(link.fpga_recv().is_none());
         assert_eq!(link.fault_stats().unwrap().frames_stalled, 1);

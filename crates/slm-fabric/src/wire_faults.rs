@@ -5,7 +5,7 @@
 //! A capture campaign that assumes a clean wire silently corrupts its
 //! trace set — the CPA ingests a desynchronized ciphertext/trace pair
 //! and the correlation peak washes out. To test the resilient path, a
-//! [`FaultPlan`] mounts a seeded adversary between the two frame
+//! [`WireFaultPlan`] mounts a seeded adversary between the two frame
 //! queues: every byte and every frame passes through it, and the same
 //! seed replays the exact same fault sequence.
 
@@ -16,9 +16,9 @@ use slm_pdn::noise::Rng64;
 ///
 /// Byte-level probabilities are per byte moved; frame-level
 /// probabilities are per frame queued. All rates default to zero, so
-/// `FaultPlan::new(seed)` is a transparent wire.
+/// `WireFaultPlan::new(seed)` is a transparent wire.
 #[derive(Debug, Clone, PartialEq)]
-pub struct FaultPlan {
+pub struct WireFaultPlan {
     /// Seed for the fault stream. The same plan + seed replays
     /// identically, which is what makes fault campaigns debuggable.
     pub seed: u64,
@@ -39,11 +39,11 @@ pub struct FaultPlan {
     pub stall: f64,
 }
 
-impl FaultPlan {
+impl WireFaultPlan {
     /// A transparent plan: no faults, but the injector machinery (and
     /// its accounting) stays in the path.
     pub fn new(seed: u64) -> Self {
-        FaultPlan {
+        WireFaultPlan {
             seed,
             bit_flip: 0.0,
             drop_byte: 0.0,
@@ -61,14 +61,14 @@ impl FaultPlan {
     /// of a marginal but usable serial link.
     pub fn byte_noise(seed: u64, rate: f64) -> Self {
         let frame_rate = (50.0 * rate).min(1.0);
-        FaultPlan {
+        WireFaultPlan {
             bit_flip: rate,
             drop_byte: rate,
             dup_byte: rate,
             burst: frame_rate,
             truncate: frame_rate,
             stall: frame_rate,
-            ..FaultPlan::new(seed)
+            ..WireFaultPlan::new(seed)
         }
     }
 
@@ -77,8 +77,8 @@ impl FaultPlan {
     /// [`crate::FabricConfig::for_shard`]). Rates are unchanged; only
     /// the seed forks, so every shard's wire misbehaves with the same
     /// statistics but its own reproducible fault sequence.
-    pub fn fork(&self, index: usize) -> FaultPlan {
-        FaultPlan {
+    pub fn fork(&self, index: usize) -> WireFaultPlan {
+        WireFaultPlan {
             seed: slm_par::mix_seed(self.seed, index as u64),
             ..self.clone()
         }
@@ -124,7 +124,7 @@ impl FaultPlan {
 
 /// Counters for every fault actually applied.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultStats {
+pub struct WireFaultStats {
     /// Frames that passed through the injector.
     pub frames_seen: u64,
     /// Bytes that passed through the injector.
@@ -143,7 +143,7 @@ pub struct FaultStats {
     pub frames_stalled: u64,
 }
 
-impl FaultStats {
+impl WireFaultStats {
     /// Total individual fault events applied.
     pub fn total_faults(&self) -> u64 {
         self.bits_flipped
@@ -155,23 +155,23 @@ impl FaultStats {
     }
 }
 
-/// Applies a [`FaultPlan`] to frames crossing the wire.
+/// Applies a [`WireFaultPlan`] to frames crossing the wire.
 #[derive(Debug, Clone)]
-pub struct FaultInjector {
-    plan: FaultPlan,
+pub struct WireFaultInjector {
+    plan: WireFaultPlan,
     rng: Rng64,
-    stats: FaultStats,
+    stats: WireFaultStats,
 }
 
-impl FaultInjector {
+impl WireFaultInjector {
     /// Creates an injector; the fault stream is fully determined by
     /// `plan.seed`.
-    pub fn new(plan: FaultPlan) -> Self {
+    pub fn new(plan: WireFaultPlan) -> Self {
         let rng = Rng64::new(plan.seed);
-        FaultInjector {
+        WireFaultInjector {
             plan,
             rng,
-            stats: FaultStats::default(),
+            stats: WireFaultStats::default(),
         }
     }
 
@@ -225,12 +225,12 @@ impl FaultInjector {
     }
 
     /// Fault accounting so far.
-    pub fn stats(&self) -> &FaultStats {
+    pub fn stats(&self) -> &WireFaultStats {
         &self.stats
     }
 
     /// The plan this injector executes.
-    pub fn plan(&self) -> &FaultPlan {
+    pub fn plan(&self) -> &WireFaultPlan {
         &self.plan
     }
 }
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn transparent_plan_passes_bytes_untouched() {
-        let mut inj = FaultInjector::new(FaultPlan::new(7));
+        let mut inj = WireFaultInjector::new(WireFaultPlan::new(7));
         let frame: Vec<u8> = (0..64).collect();
         assert_eq!(inj.mangle(frame.clone()), frame);
         assert_eq!(inj.stats().total_faults(), 0);
@@ -251,9 +251,9 @@ mod tests {
 
     #[test]
     fn same_seed_replays_identical_faults() {
-        let plan = FaultPlan::byte_noise(42, 0.01);
-        let mut a = FaultInjector::new(plan.clone());
-        let mut b = FaultInjector::new(plan);
+        let plan = WireFaultPlan::byte_noise(42, 0.01);
+        let mut a = WireFaultInjector::new(plan.clone());
+        let mut b = WireFaultInjector::new(plan);
         for i in 0..200u64 {
             let frame: Vec<u8> = (0..48).map(|j| (i as u8).wrapping_add(j)).collect();
             assert_eq!(a.mangle(frame.clone()), b.mangle(frame));
@@ -265,7 +265,7 @@ mod tests {
     fn noisy_plan_actually_faults() {
         // 0.005/byte keeps the derived frame-level rates at 0.25, so
         // most frames still carry bytes for the byte-level faults.
-        let mut inj = FaultInjector::new(FaultPlan::byte_noise(1, 0.005));
+        let mut inj = WireFaultInjector::new(WireFaultPlan::byte_noise(1, 0.005));
         for _ in 0..500 {
             inj.mangle(vec![0xaa; 64]);
         }
@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn stall_swallows_whole_frame() {
-        let mut inj = FaultInjector::new(FaultPlan::new(3).with_stall(1.0));
+        let mut inj = WireFaultInjector::new(WireFaultPlan::new(3).with_stall(1.0));
         assert!(inj.mangle(vec![1, 2, 3]).is_empty());
         assert_eq!(inj.stats().frames_stalled, 1);
     }

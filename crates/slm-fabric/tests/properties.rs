@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use slm_aes::soft;
 use slm_fabric::{
     AesActivity, BenignCircuit, CampaignDriver, DecodeOutcome, FabricConfig, FabricError,
-    FaultPlan, MultiTenantFabric, RemoteSession, TransportError, UartFrame, UartLink,
+    MultiTenantFabric, RemoteSession, TransportError, UartFrame, UartLink, WireFaultPlan,
 };
 
 proptest! {
@@ -179,7 +179,7 @@ proptest! {
         n_frames in 1usize..20,
     ) {
         let rate = 10f64.powf(-rate_exp);
-        let mut link = UartLink::with_faults(921_600, FaultPlan::byte_noise(seed, rate));
+        let mut link = UartLink::with_faults(921_600, WireFaultPlan::byte_noise(seed, rate));
         let mut sent = Vec::new();
         for i in 0..n_frames {
             let f = UartFrame::new(i as u8, vec![i as u8; 24]);
@@ -267,7 +267,8 @@ fn check_campaign_driver(seed: u64, rate_exp: f64, circuit: BenignCircuit, captu
         ..FabricConfig::default()
     };
     let session =
-        RemoteSession::with_fault_plan(&config, vec![], FaultPlan::byte_noise(seed, rate)).unwrap();
+        RemoteSession::with_fault_plan(&config, vec![], WireFaultPlan::byte_noise(seed, rate))
+            .unwrap();
     let key = session.fabric().config().aes_key;
     let mut driver = CampaignDriver::new(session);
     for i in 0..captures {

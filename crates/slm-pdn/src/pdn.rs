@@ -177,6 +177,11 @@ pub struct MultiRegionPdn {
     /// every step. All zero by default, which leaves `step` bit-exact.
     injected: Vec<f64>,
     telemetry: PdnTelemetry,
+    /// Deepest droop seen by each region — the fault-injection-relevant
+    /// extremum (the victim rail's minimum decides whether derated
+    /// arrival times violate the clock period). Tracked per step at the
+    /// cost of one compare per region.
+    region_v_min: Vec<f64>,
     settle_band: f64,
 }
 
@@ -200,6 +205,7 @@ impl MultiRegionPdn {
             droop_scratch: vec![0.0; regions],
             injected: vec![0.0; regions],
             telemetry: PdnTelemetry::new(config.v_nominal),
+            region_v_min: vec![config.v_nominal; regions],
             settle_band: PdnTelemetry::band(&config),
             config,
         }
@@ -261,6 +267,8 @@ impl MultiRegionPdn {
                 total += self.coupling[r][s] * d;
             }
             *v = self.config.v_nominal - total + self.rng.normal_scaled(self.config.noise_sigma_v);
+            let vmin = &mut self.region_v_min[r];
+            *vmin = vmin.min(*v);
         }
         // Telemetry watches region 0 — the sensed (attacker-visible)
         // rail in the fabric's layout.
@@ -272,6 +280,16 @@ impl MultiRegionPdn {
     /// The most recent voltage of one region.
     pub fn voltage(&self, region: usize) -> f64 {
         self.voltages[region]
+    }
+
+    /// The deepest droop observed at one region since construction.
+    ///
+    /// Region 0's value matches the [`MultiRegionPdn::telemetry`]
+    /// extremum; the other regions give the victim-rail ground truth a
+    /// fault-injection experiment needs (how far the aggressor actually
+    /// pushed the rail the victim's logic runs from).
+    pub fn min_voltage(&self, region: usize) -> f64 {
+        self.region_v_min[region]
     }
 
     /// Droop extrema and settling accounting of region 0 since
@@ -404,6 +422,25 @@ mod tests {
             (cfg.v_nominal - t.v_min) > 0.04,
             "region-0 droop recorded: {t:?}"
         );
+    }
+
+    #[test]
+    fn per_region_min_voltage_tracks_each_rail() {
+        let cfg = quiet(PdnConfig::default());
+        let mut net = MultiRegionPdn::uniform(cfg, 2, 0.25);
+        assert_eq!(net.min_voltage(0), cfg.v_nominal);
+        assert_eq!(net.min_voltage(1), cfg.v_nominal);
+        for _ in 0..3_000 {
+            net.step(&[4.0, 0.0], DT);
+        }
+        // Region 0 carries the load; region 1 sees it only through the
+        // 0.25 coupling, so its extremum is much shallower.
+        let droop0 = cfg.v_nominal - net.min_voltage(0);
+        let droop1 = cfg.v_nominal - net.min_voltage(1);
+        assert!(droop0 > 0.04, "loaded rail droop: {droop0}");
+        assert!(droop1 < droop0 / 2.0, "coupled rail: {droop1} vs {droop0}");
+        // Region 0's extremum agrees with the legacy telemetry.
+        assert_eq!(net.min_voltage(0), net.telemetry().v_min);
     }
 
     #[test]

@@ -160,6 +160,30 @@ impl<'a> StaEngine<'a> {
             .collect()
     }
 
+    /// Primary-output indices (declaration order) whose voltage-derated
+    /// arrival violates a clock period: `arrival × scale > period_ps`.
+    ///
+    /// The alpha-power-law derating of
+    /// [`crate::VoltageDelayLaw::scale`] multiplies every gate and edge
+    /// delay by one common factor, so endpoint arrivals scale linearly
+    /// with it and the derated setup check reduces to this product —
+    /// no re-timing needed. `derated_sta_matches_scaled_annotation`
+    /// pins that equivalence against a full re-annotated STA pass.
+    ///
+    /// This is the fault-injection criterion: a PDN aggressor droops
+    /// the victim rail, `scale` rises above `period / arrival`, and the
+    /// endpoints returned here latch stale values at the clock edge.
+    pub fn derated_violations(&self, scale: f64, period_ps: f64) -> Vec<usize> {
+        self.ann
+            .netlist()
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, o))| self.arrival[o.index()] * scale > period_ps)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Recomputes the arrival state of one gate from its fanins — the
     /// exact fold `StaResult::compute` performs, so a relax on unchanged
     /// fanin state is bitwise idempotent. Returns whether any
@@ -353,6 +377,43 @@ mod tests {
                 reference.min_arrival_ps(id).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn derated_sta_matches_scaled_annotation() {
+        // `derated_violations` exploits linearity: uniformly derating
+        // every delay by `scale` scales every endpoint arrival by
+        // `scale`. Pin it against the honest path — re-annotate with
+        // the scale folded into the delays and re-run full STA.
+        let nl = ripple_carry_adder(32).unwrap();
+        let model = DelayModel::default();
+        let ann = model.annotate_for_period(&nl, 9.0, 1.0).unwrap();
+        let engine = StaEngine::new(&ann).unwrap();
+        let law = crate::VoltageDelayLaw::default();
+        let period_ps = 10_000.0;
+        for v in [1.0, 0.97, 0.95, 0.93, 0.90, 0.85] {
+            let scale = law.scale(v);
+            let fast = engine.derated_violations(scale, period_ps);
+            let mut derated = ann.clone();
+            derated.scale(scale);
+            let slow_engine = StaEngine::new(&derated).unwrap();
+            let slow: Vec<usize> = slow_engine
+                .output_arrivals_ps()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a > period_ps)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(fast, slow, "violation sets diverge at v = {v}");
+        }
+        // Sanity of the physics: nominal voltage meets timing, deep
+        // droop does not.
+        assert!(engine
+            .derated_violations(law.scale(1.0), period_ps)
+            .is_empty());
+        assert!(!engine
+            .derated_violations(law.scale(0.85), period_ps)
+            .is_empty());
     }
 
     #[test]

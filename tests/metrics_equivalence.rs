@@ -8,8 +8,12 @@
 //! counters, same gauges, same histograms, same span counts.
 
 use proptest::prelude::*;
-use slm_core::experiments::{run_cpa_parallel_recorded, CpaExperiment, ParallelCpa, SensorSource};
-use slm_fabric::BenignCircuit;
+use slm_core::experiments::{
+    run_cpa_parallel_recorded, run_fault_campaign_recorded, CpaExperiment, FaultCampaign,
+    ParallelCpa, SensorSource,
+};
+use slm_cpa::DfaModel;
+use slm_fabric::{AggressorSpec, BenignCircuit, FabricConfig};
 use slm_obs::{MetricsFrame, Obs};
 
 fn run(seed: u64, traces: u64, shard_traces: u64, workers: usize) -> MetricsFrame {
@@ -49,5 +53,38 @@ proptest! {
         prop_assert_eq!(&serial, &four.deterministic());
         // and the counters actually cover the campaign:
         prop_assert_eq!(serial.counter("cpa.traces_absorbed"), traces);
+    }
+
+    /// The fault-injection campaign inherits the same discipline: its
+    /// shard frames (capture and DFA pair counters) fold back in shard
+    /// order, so the merged frame is worker-count invariant too.
+    #[test]
+    fn fault_campaign_metrics_are_identical_at_1_2_4_workers(
+        seed in 0u64..1_000,
+        captures in 120u64..240,
+        shard_captures in 30u64..70,
+    ) {
+        let run = |workers: usize| {
+            let exp = FaultCampaign {
+                config: FabricConfig {
+                    benign: BenignCircuit::DualC6288,
+                    seed,
+                    aggressor: Some(AggressorSpec::stealthy(3.0)),
+                    ..FabricConfig::default()
+                },
+                model: DfaModel::SingleByte { max_fault_bits: 2 },
+                captures,
+                shard_captures,
+                workers,
+            };
+            let obs = Obs::memory();
+            run_fault_campaign_recorded(&exp, &obs).expect("fabric builds");
+            obs.snapshot()
+        };
+        let serial = run(1).deterministic();
+        prop_assert_eq!(&serial, &run(2).deterministic());
+        prop_assert_eq!(&serial, &run(4).deterministic());
+        prop_assert_eq!(serial.counter("fault.captures"), captures);
+        prop_assert!(serial.counter("fault.pairs_accepted") > 0);
     }
 }

@@ -34,9 +34,14 @@ fn rounded(mut frame: MetricsFrame) -> MetricsFrame {
 }
 
 fn campaign_frame() -> MetricsFrame {
+    campaign_frame_with(None)
+}
+
+fn campaign_frame_with(aggressor: Option<slm_fabric::AggressorSpec>) -> MetricsFrame {
     let config = FabricConfig {
         benign: BenignCircuit::Alu192,
         seed: SEED,
+        aggressor,
         ..FabricConfig::default()
     };
     let session = RemoteSession::new(&config, vec![]).expect("fabric builds");
@@ -67,6 +72,24 @@ fn metrics_report_json_matches_golden_file() {
         json, GOLDEN,
         "metrics JSON drifted from the golden file; if intentional, \
          regenerate with UPDATE_GOLDEN=1 cargo test --test metrics_golden"
+    );
+}
+
+#[test]
+fn disabled_aggressor_matches_the_same_golden_file() {
+    // A mounted-but-zero-amp aggressor must be electrically and
+    // observably absent: the same golden JSON, byte for byte. This
+    // pins the fault-injection path's disabled-is-bit-exact contract
+    // at the metrics-export level, not just per-capture.
+    let zeroed = slm_fabric::AggressorSpec::stealthy(0.0);
+    let report = MetricsReport::new(
+        "golden_campaign",
+        rounded(campaign_frame_with(Some(zeroed))),
+    );
+    assert_eq!(
+        report.to_json(),
+        GOLDEN,
+        "a 0 A aggressor perturbed the golden campaign"
     );
 }
 

@@ -7,7 +7,7 @@
 //! traces than one window, regardless of the trace budget.
 
 use slm_core::experiments::{
-    run_streaming, run_streaming_faulted, run_streaming_recorded, CpaExperiment, CpaResult,
+    run_streaming, run_streaming_crashing, run_streaming_recorded, CpaExperiment, CpaResult,
     CrashPlan, CrashSite, SensorSource, StreamOutcome, StreamingCpa, StreamingError,
 };
 use slm_fabric::BenignCircuit;
@@ -58,7 +58,7 @@ fn run_until_complete(
 ) -> (CpaResult, u64, u64) {
     let mut kills = 0u64;
     loop {
-        match run_streaming_faulted(exp, dir, |_| {}, &Obs::null(), plan).unwrap() {
+        match run_streaming_crashing(exp, dir, |_| {}, &Obs::null(), plan).unwrap() {
             StreamOutcome::Complete(r) => return (r.result, kills, r.recovered_generations),
             StreamOutcome::Killed { .. } => kills += 1,
         }
@@ -131,7 +131,7 @@ fn bit_flip_in_newest_generation_falls_back_gracefully() {
     let exp = campaign();
     // Die right after the third commit, leaving generations 1..=3.
     let mut plan = CrashPlan::none().kill_at(2, CrashSite::AfterCommit);
-    let killed = run_streaming_faulted(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
+    let killed = run_streaming_crashing(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
     assert!(matches!(killed, StreamOutcome::Killed { .. }));
     // Corrupt the newest generation on disk with a single bit flip.
     let mut gens: Vec<_> = std::fs::read_dir(&dir)
@@ -159,7 +159,7 @@ fn torn_first_commit_errors_instead_of_silently_restarting() {
     let dir = scratch_dir("torn-first");
     let exp = campaign();
     let mut plan = CrashPlan::none().kill_at(0, CrashSite::TornCommit);
-    run_streaming_faulted(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
+    run_streaming_crashing(&exp, &dir, |_| {}, &Obs::null(), &mut plan).unwrap();
     // The only generation on disk is torn: every checkpoint is
     // unreadable, and restarting from zero must be an explicit
     // operator decision, not a silent default.

@@ -11,8 +11,8 @@ use slm_aes::soft;
 use slm_cpa::store::{read_checkpoint, write_checkpoint};
 use slm_cpa::{CpaAttack, LastRoundModel};
 use slm_fabric::{
-    BenignCircuit, CampaignDriver, FabricConfig, FabricError, FaultPlan, RemoteSession,
-    TransportError,
+    BenignCircuit, CampaignDriver, FabricConfig, FabricError, RemoteSession, TransportError,
+    WireFaultPlan,
 };
 use slm_pdn::noise::Rng64;
 
@@ -79,7 +79,7 @@ fn faulty_campaign_recovers_key_within_2x_traces() {
     // Same campaign at 1e-4 byte faults, budgeted at 2× the baseline:
     // the resilient driver must deliver a converged attack well inside
     // that budget.
-    let plan = FaultPlan::byte_noise(SEED, 1e-4);
+    let plan = WireFaultPlan::byte_noise(SEED, 1e-4);
     let faulty_session = RemoteSession::with_fault_plan(&cfg, vec![], plan).unwrap();
     let (faulty_attack, abandoned, driver) = run_campaign(faulty_session, 2 * baseline_traces);
     assert_eq!(
@@ -115,7 +115,7 @@ fn checkpoint_resume_reproduces_uninterrupted_ranking() {
     // twice: straight through, and with a serialize/reload/resume cycle
     // halfway. The final correlation ranking must be identical.
     let cfg = fabric_config();
-    let plan = FaultPlan::byte_noise(SEED ^ 1, 1e-4);
+    let plan = WireFaultPlan::byte_noise(SEED ^ 1, 1e-4);
     let session = RemoteSession::with_fault_plan(&cfg, vec![], plan).unwrap();
     let model = LastRoundModel::paper_target();
     let points = session.fabric().last_round_window().len();

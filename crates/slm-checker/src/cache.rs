@@ -329,7 +329,15 @@ fn read_entry(path: &Path) -> Option<Vec<Finding>> {
 }
 
 fn write_entry(path: &Path, findings: &[Finding]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    // Every writer gets its own scratch file. A shared `.tmp` name
+    // would let two concurrent writers of the same key interleave
+    // truncate/write/rename on one path — the rename could publish a
+    // torn half-write, or tear the scratch file out from under the
+    // slower writer. With a unique name each rename atomically
+    // publishes one complete, checksummed entry; last writer wins.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq:x}", std::process::id()));
     std::fs::write(&tmp, encode(findings))?;
     std::fs::rename(&tmp, path)
 }
@@ -406,6 +414,56 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let cache = ScanCache::with_dir(&dir).unwrap();
         assert_eq!(cache.get(42, "clock-taint"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The service admission path hammers one cache directory from
+    /// many threads at once — concurrent cold writes and warm reads of
+    /// the *same* key. Every read must observe either a miss or one
+    /// complete entry (never torn bytes decoding to garbage), and once
+    /// all writers finish the entry must be present and intact. Each
+    /// thread uses a private `ScanCache` instance over the shared
+    /// directory so every operation exercises the disk tier, not the
+    /// in-memory map.
+    #[test]
+    fn disk_tier_survives_concurrent_same_key_traffic() {
+        let dir = std::env::temp_dir().join(format!("slm-cache-hammer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let findings = sample_findings();
+        let scan_key = 7u64;
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let dir = &dir;
+                let findings = &findings;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let cache = ScanCache::with_dir(dir).unwrap();
+                        if (t + i) % 2 == 0 {
+                            cache.put(scan_key, "clock-taint", findings);
+                        }
+                        match cache.get(scan_key, "clock-taint") {
+                            None => {}
+                            Some(got) => {
+                                assert_eq!(&got, findings, "a concurrent reader saw a torn entry")
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // After the storm: the entry is present, complete, and no
+        // scratch files were left behind by the unique-tmp protocol's
+        // winners (a losing rename cannot exist — names are unique).
+        let cache = ScanCache::with_dir(&dir).unwrap();
+        assert_eq!(cache.get(scan_key, "clock-taint"), Some(findings.clone()));
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray scratch files: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -626,6 +626,67 @@ mod tests {
     }
 
     #[test]
+    fn batch_scan_is_job_count_invariant_at_1_2_4_8() {
+        // A corpus wide enough that every job count actually splits it:
+        // benign designs, two rejecting specimens, and one unparsable
+        // file mixed through the middle of the list. The JSONL verdict
+        // stream (input order, bit for bit) and the max exit code must
+        // be identical at every parallelism level.
+        let dir = temp_dir("jobsweep");
+        let designs: Vec<(&str, String)> = vec![
+            (
+                "c17",
+                slm_netlist::bench::write(&slm_netlist::generators::c17()),
+            ),
+            (
+                "ro",
+                slm_netlist::bench::write(&slm_netlist::generators::ring_oscillator(8).unwrap()),
+            ),
+            (
+                "ksa",
+                slm_netlist::bench::write(&slm_netlist::generators::kogge_stone_adder(16).unwrap()),
+            ),
+            (
+                "tap",
+                slm_netlist::bench::write(
+                    &slm_netlist::generators::tapped_carry_chain(32).unwrap(),
+                ),
+            ),
+            (
+                "rca",
+                slm_netlist::bench::write(
+                    &slm_netlist::generators::ripple_carry_adder(24).unwrap(),
+                ),
+            ),
+            ("garbled", "INPUT(\nnot bench at all".to_string()),
+            (
+                "mult",
+                slm_netlist::bench::write(&slm_netlist::generators::array_multiplier(8).unwrap()),
+            ),
+        ];
+        let mut list_body = String::new();
+        for (name, body) in &designs {
+            let path = dir.join(format!("{name}.bench"));
+            std::fs::write(&path, body).unwrap();
+            list_body.push_str(&format!("{}\n", path.display()));
+        }
+        let list = dir.join("inputs.txt");
+        std::fs::write(&list, list_body).unwrap();
+
+        let (reference, ref_code) =
+            run(&argv(&["--batch", list.to_str().unwrap(), "--jobs", "1"])).unwrap();
+        assert_eq!(ref_code, 3, "the garbled input dominates: {reference}");
+        assert_eq!(reference.lines().count(), designs.len());
+        for jobs in ["2", "4", "8"] {
+            let (out, code) =
+                run(&argv(&["--batch", list.to_str().unwrap(), "--jobs", jobs])).unwrap();
+            assert_eq!(code, ref_code, "max exit code diverged at --jobs {jobs}");
+            assert_eq!(out, reference, "JSONL stream diverged at --jobs {jobs}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn cache_dir_round_trips_across_invocations() {
         let dir = temp_dir("cachedir");
         let cache_dir = dir.join("cache");

@@ -1,0 +1,121 @@
+//! Per-tenant resource accounting against a [`TenantQuota`].
+//!
+//! The ledger counts in the service's logical units — traces and event
+//! loop rounds — so the same submission sequence produces the same
+//! charge history at any worker count. Wall-clock never enters quota
+//! decisions.
+
+use crate::submission::TenantQuota;
+use serde::{Deserialize, Serialize};
+
+/// Running consumption of one placed tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QuotaLedger {
+    /// Traces dispatched over the tenant's lifetime.
+    pub traces_used: u64,
+    /// Traces dispatched within the current round (rate-cap window).
+    pub round_traces: u64,
+    /// Completed rounds the tenant has held a region.
+    pub region_rounds: u64,
+}
+
+/// Why a dispatch was refused this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuotaDecision {
+    /// The dispatch fits every limit.
+    Allow,
+    /// The per-round rate cap is hit; retry next round.
+    Throttle,
+    /// The lifetime trace budget cannot cover the dispatch: preempt.
+    ExhaustedTraces,
+    /// The region-rounds lease has run out: preempt.
+    ExhaustedLease,
+}
+
+impl QuotaLedger {
+    /// Judges a prospective dispatch of `traces` against `quota`.
+    ///
+    /// Exhaustion outranks throttling: a tenant that can never afford
+    /// its next campaign is preempted even if the rate cap would also
+    /// have stalled it this round.
+    pub fn admit(&self, quota: &TenantQuota, traces: u64) -> QuotaDecision {
+        if self.region_rounds >= quota.max_region_rounds {
+            QuotaDecision::ExhaustedLease
+        } else if self.traces_used.saturating_add(traces) > quota.max_traces {
+            QuotaDecision::ExhaustedTraces
+        } else if self.round_traces.saturating_add(traces) > quota.max_traces_per_round {
+            QuotaDecision::Throttle
+        } else {
+            QuotaDecision::Allow
+        }
+    }
+
+    /// Records a dispatched campaign of `traces`.
+    pub fn charge(&mut self, traces: u64) {
+        self.traces_used = self.traces_used.saturating_add(traces);
+        self.round_traces = self.round_traces.saturating_add(traces);
+    }
+
+    /// Closes the round: resets the rate-cap window and ages the
+    /// region lease by one round.
+    pub fn tick_round(&mut self) {
+        self.round_traces = 0;
+        self.region_rounds = self.region_rounds.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quota() -> TenantQuota {
+        TenantQuota {
+            max_traces: 100,
+            max_region_rounds: 3,
+            max_traces_per_round: 40,
+        }
+    }
+
+    #[test]
+    fn rate_cap_throttles_within_a_round_and_resets() {
+        let q = quota();
+        let mut l = QuotaLedger::default();
+        assert_eq!(l.admit(&q, 30), QuotaDecision::Allow);
+        l.charge(30);
+        assert_eq!(l.admit(&q, 30), QuotaDecision::Throttle);
+        l.tick_round();
+        assert_eq!(l.admit(&q, 30), QuotaDecision::Allow, "window resets");
+    }
+
+    #[test]
+    fn lifetime_budget_preempts() {
+        let q = quota();
+        let mut l = QuotaLedger::default();
+        l.charge(40);
+        l.tick_round();
+        l.charge(40);
+        l.tick_round();
+        assert_eq!(l.traces_used, 80);
+        assert_eq!(l.admit(&q, 30), QuotaDecision::ExhaustedTraces);
+        assert_eq!(l.admit(&q, 20), QuotaDecision::Allow, "exact fit is fine");
+    }
+
+    #[test]
+    fn lease_expiry_preempts_even_with_trace_budget_left() {
+        let q = quota();
+        let mut l = QuotaLedger::default();
+        for _ in 0..3 {
+            l.tick_round();
+        }
+        assert_eq!(l.admit(&q, 1), QuotaDecision::ExhaustedLease);
+    }
+
+    #[test]
+    fn default_quota_is_unlimited() {
+        let q = TenantQuota::default();
+        let mut l = QuotaLedger::default();
+        l.charge(u64::MAX / 2);
+        l.tick_round();
+        assert_eq!(l.admit(&q, u64::MAX / 4), QuotaDecision::Allow);
+    }
+}

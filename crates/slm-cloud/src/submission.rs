@@ -1,0 +1,195 @@
+//! What a tenant hands the provider: a netlist, the interface contract
+//! it claims, the workload it wants to run once deployed, and the
+//! quota it bought.
+
+use serde::{Deserialize, Serialize};
+use slm_cpa::DfaModel;
+use slm_fabric::AggressorSpec;
+use slm_fabric::BenignCircuit;
+use slm_netlist::Netlist;
+
+pub use slm_core::experiments::{DefenseArm, SensorSource};
+
+/// The clock portion of a tenant's interface contract.
+///
+/// In the deployment model the provider's shell owns clock routing: a
+/// tenant wanting the clock on a pin must declare it regardless of what
+/// the pin is named, and a requested operating frequency subjects the
+/// design to the strict timing check at admission. Both feed the
+/// admission scan, so lying in the contract changes the verdict, not
+/// the scan's blind spots.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClockContract {
+    /// Input pins the contract declares as clock-fed (seeds the
+    /// semantic clock-taint pass).
+    pub declared_clocks: Vec<String>,
+    /// Requested operating frequency; `Some` additionally runs the
+    /// strict STA timing check at admission.
+    pub clock_mhz: Option<f64>,
+}
+
+/// What kind of campaign each deployed tenant run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CampaignKind {
+    /// Passive sensing: a CPA key-recovery campaign reading the given
+    /// sensor source.
+    Cpa {
+        /// Which sensor output the campaign records.
+        source: SensorSource,
+    },
+    /// Active fault injection: a PDN aggressor mounted at runtime, with
+    /// last-round DFA over the resulting correct/faulty pairs. The
+    /// aggressor is invisible to admission — it is runtime behaviour,
+    /// not netlist structure — which is exactly the gap the stealthy
+    /// co-residency scenario demonstrates.
+    Fault {
+        /// The aggressor operating point.
+        aggressor: AggressorSpec,
+        /// The DFA fault model analysing the pairs.
+        model: DfaModel,
+    },
+}
+
+/// The traffic a tenant wants to run once placed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The fabric-side benign circuit the campaign shares the PDN with.
+    pub circuit: BenignCircuit,
+    /// Campaign flavour (passive CPA or active fault injection).
+    pub kind: CampaignKind,
+    /// Captures per campaign.
+    pub traces: u64,
+    /// How many campaigns the tenant wants delivered.
+    pub campaigns: u32,
+    /// Countermeasure arm the provider deploys on this tenant's
+    /// fabric, if any.
+    pub defense: Option<DefenseArm>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            circuit: BenignCircuit::Alu192,
+            kind: CampaignKind::Cpa {
+                source: SensorSource::TdcAll,
+            },
+            traces: 120,
+            campaigns: 1,
+            defense: None,
+        }
+    }
+}
+
+/// Per-tenant resource limits, in the service's logical units: rounds
+/// of the event loop stand in for wall seconds (the loop is the
+/// service's clock), so `max_region_rounds` is the region-seconds
+/// quota and `max_traces_per_round` is the traces/sec rate cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantQuota {
+    /// Total trace budget across every campaign. A tenant whose next
+    /// campaign would exceed it is preempted (evicted) instead.
+    pub max_traces: u64,
+    /// Rounds the tenant may hold a region before preemption.
+    pub max_region_rounds: u64,
+    /// Traces the tenant may have dispatched within one round.
+    pub max_traces_per_round: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_traces: u64::MAX,
+            max_region_rounds: u64::MAX,
+            max_traces_per_round: u64::MAX,
+        }
+    }
+}
+
+/// One tenant submission: the admission queue's unit of work.
+#[derive(Debug, Clone)]
+pub struct TenantSubmission {
+    /// Tenant name (unique per submission sequence by convention; used
+    /// in reports and co-residency policies).
+    pub tenant: String,
+    /// The netlist the tenant wants deployed — what admission scans.
+    pub netlist: Netlist,
+    /// The clock contract accompanying the netlist.
+    pub contract: ClockContract,
+    /// The campaign traffic to run once placed.
+    pub workload: WorkloadSpec,
+    /// The tenant's resource limits.
+    pub quota: TenantQuota,
+}
+
+impl TenantSubmission {
+    /// A submission with default contract, workload and quota.
+    pub fn new(tenant: impl Into<String>, netlist: Netlist) -> Self {
+        TenantSubmission {
+            tenant: tenant.into(),
+            netlist,
+            contract: ClockContract::default(),
+            workload: WorkloadSpec::default(),
+            quota: TenantQuota::default(),
+        }
+    }
+
+    /// Replaces the clock contract.
+    pub fn with_contract(mut self, contract: ClockContract) -> Self {
+        self.contract = contract;
+        self
+    }
+
+    /// Replaces the workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Replaces the quota.
+    pub fn with_quota(mut self, quota: TenantQuota) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// The tenant's region demand in grid cells: netlist nets divided
+    /// by the scheduler's packing factor, with a floor of one cell.
+    pub fn demand_cells(&self, nets_per_cell: usize) -> usize {
+        self.netlist.len().div_ceil(nets_per_cell.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let sub = TenantSubmission::new("alice", slm_netlist::generators::c17())
+            .with_contract(ClockContract {
+                declared_clocks: vec!["clk".into()],
+                clock_mhz: Some(300.0),
+            })
+            .with_workload(WorkloadSpec {
+                campaigns: 3,
+                ..WorkloadSpec::default()
+            })
+            .with_quota(TenantQuota {
+                max_traces: 500,
+                ..TenantQuota::default()
+            });
+        assert_eq!(sub.tenant, "alice");
+        assert_eq!(sub.contract.declared_clocks, vec!["clk".to_string()]);
+        assert_eq!(sub.workload.campaigns, 3);
+        assert_eq!(sub.quota.max_traces, 500);
+    }
+
+    #[test]
+    fn demand_rounds_up_and_clamps() {
+        let sub = TenantSubmission::new("t", slm_netlist::generators::c17());
+        let nets = sub.netlist.len();
+        assert_eq!(sub.demand_cells(1), nets);
+        assert_eq!(sub.demand_cells(4), nets.div_ceil(4));
+        assert_eq!(sub.demand_cells(0), nets, "packing factor clamps to 1");
+        assert_eq!(sub.demand_cells(10_000), 1, "never zero cells");
+    }
+}

@@ -105,6 +105,38 @@ impl Floorplan {
         self.cells.iter().filter(|&&c| c == kind).count()
     }
 
+    /// Splits the grid into a `rows × cols` lattice of region
+    /// rectangles — the partial-reconfiguration slots a cloud scheduler
+    /// hands out to tenants. Regions tile the grid exactly (remainder
+    /// cells go to the last row/column) and come back in row-major
+    /// order, so the slot list is a pure function of the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`/`cols` is zero or exceeds the grid dimensions.
+    pub fn partition(&self, rows: usize, cols: usize) -> Vec<Rect> {
+        assert!(
+            (1..=self.height).contains(&rows) && (1..=self.width).contains(&cols),
+            "partition {rows}x{cols} does not fit a {}x{} grid",
+            self.width,
+            self.height
+        );
+        let (rw, rh) = (self.width / cols, self.height / rows);
+        let mut regions = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let (x, y) = (c * rw, r * rh);
+                regions.push(Rect {
+                    x,
+                    y,
+                    w: if c + 1 == cols { self.width - x } else { rw },
+                    h: if r + 1 == rows { self.height - y } else { rh },
+                });
+            }
+        }
+        regions
+    }
+
     /// Scatter-places `count` cells of `kind` pseudo-randomly inside
     /// `region` (mimicking how a mapper spreads a non-constrained
     /// circuit), skipping occupied cells. Returns the placed positions.
@@ -275,6 +307,38 @@ impl Floorplan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn partition_tiles_the_grid_exactly() {
+        for (w, h, rows, cols) in [(50, 50, 2, 2), (50, 50, 3, 4), (7, 5, 5, 7), (10, 10, 1, 1)] {
+            let fp = Floorplan::new(w, h);
+            let regions = fp.partition(rows, cols);
+            assert_eq!(regions.len(), rows * cols);
+            assert_eq!(
+                regions.iter().map(Rect::area).sum::<usize>(),
+                w * h,
+                "{rows}x{cols} over {w}x{h} must cover every cell"
+            );
+            // No overlap: paint each region and count coverage.
+            let mut hits = vec![0u8; w * h];
+            for r in &regions {
+                assert!(r.x + r.w <= w && r.y + r.h <= h, "region off-grid");
+                assert!(r.w > 0 && r.h > 0, "degenerate region");
+                for y in r.y..r.y + r.h {
+                    for x in r.x..r.x + r.w {
+                        hits[y * w + x] += 1;
+                    }
+                }
+            }
+            assert!(hits.iter().all(|&c| c == 1), "overlapping regions");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn partition_rejects_oversubscribed_lattice() {
+        Floorplan::new(4, 4).partition(5, 2);
+    }
 
     #[test]
     fn scatter_stays_in_region_and_counts() {

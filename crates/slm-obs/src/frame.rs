@@ -186,6 +186,21 @@ impl MetricsFrame {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The aggregate of a gauge, if it was ever sampled.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeAgg> {
+        self.gauges.get(name)
+    }
+
+    /// The aggregate of a histogram, if it was ever observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistAgg> {
+        self.histograms.get(name)
+    }
+
+    /// The aggregate of a span, if it ever completed.
+    pub fn span(&self, name: &str) -> Option<&SpanAgg> {
+        self.spans.get(name)
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
@@ -306,6 +321,20 @@ mod tests {
         let mut f = MetricsFrame::default();
         f.record_count("a", 0);
         assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn aggregate_accessors_mirror_the_maps() {
+        let mut f = MetricsFrame::default();
+        assert!(f.gauge("v").is_none());
+        assert!(f.histogram("h").is_none());
+        assert!(f.span("s").is_none());
+        f.record_gauge("v", 2.5);
+        f.record_observation("h", 4.0);
+        f.record_span("s", 11);
+        assert_eq!(f.gauge("v").unwrap().last, 2.5);
+        assert_eq!(f.histogram("h").unwrap().count, 1);
+        assert_eq!(f.span("s").unwrap().total_ns, 11);
     }
 
     #[test]

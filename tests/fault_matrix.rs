@@ -202,3 +202,37 @@ fn aggressor_free_matrix_row_matches_disabled_aggressor_campaign() {
     assert_eq!(absent.dfa, zeroed.dfa);
     assert_eq!(absent.captures, zeroed.captures);
 }
+
+#[test]
+fn diagonal_round9_model_recovers_through_the_wider_candidate_set() {
+    // The round-9 diagonal model admits every MixColumns image of a
+    // low-weight pre-mix flip — a ~3x wider difference set per byte
+    // than the single-byte model — yet at the standard capture budget
+    // the undefended arm still converges to the full master key, and
+    // the LDO suppresses it exactly as it does the narrow model.
+    let exp = FaultMatrixExperiment {
+        aggressors: vec![Some(AggressorSpec::stealthy(3.0))],
+        arms: vec![DefenseArm::Undefended, DefenseArm::Ldo(0.25)],
+        captures: 2_000,
+        shard_captures: 250,
+        model: DfaModel::DiagonalRound9 { max_fault_bits: 2 },
+        ..FaultMatrixExperiment::standard(11)
+    };
+    let matrix = fault_matrix(&exp).unwrap();
+    let strong = Some(AggressorSpec::stealthy(3.0));
+
+    let hot = matrix.cell(strong, &DefenseArm::Undefended).unwrap();
+    assert!(hot.faults_per_1k > 100.0, "faults/1k {}", hot.faults_per_1k);
+    assert!(hot.pairs_discarded > 0, "avalanche filter never fired");
+    assert_eq!(hot.recovered_bytes, 16);
+    assert_eq!(
+        hot.recovered_key,
+        Some(FabricConfig::default().aes_key),
+        "diagonal-model DFA must still recover the master key"
+    );
+
+    let cold = matrix.cell(strong, &DefenseArm::Ldo(0.25)).unwrap();
+    assert_eq!(cold.faults_per_1k, 0.0, "LDO must suppress all faults");
+    assert_eq!(cold.recovered_bytes, 0);
+    assert_eq!(cold.recovered_key, None);
+}
